@@ -1,0 +1,54 @@
+"""E8 (ablation): the Propagate_out read step (§3).
+
+Quantifies the design decision DESIGN.md calls out: with the read, every
+run of the §3 scenario is causal; without it, the overwrite value returns
+causally untethered and the violation appears. Also measures the
+violation *rate* across perturbed timings, since the race is
+timing-dependent in general.
+"""
+
+from repro.checker import check_causal
+from repro.experiments import section3_violation_rate
+from repro.workloads.scenarios import run_until_quiescent, section3_counterexample
+
+
+def run_scenario(read_before_send: bool, seed: int = 0) -> bool:
+    result = section3_counterexample(read_before_send=read_before_send, seed=seed)
+    run_until_quiescent(result.sim, result.systems)
+    return check_causal(result.global_history).ok
+
+
+def violation_rate(read_before_send: bool, seeds: range) -> float:
+    return section3_violation_rate(read_before_send, seeds)
+
+
+def test_e8_with_read_is_sound(benchmark):
+    causal = benchmark(run_scenario, True)
+    rate = violation_rate(True, range(10))
+    print(f"\nE8a: IS-protocol with read step -> violation rate {rate:.0%} over 10 seeds")
+    assert causal
+    assert rate == 0.0
+
+
+def test_e8_without_read_violates(benchmark):
+    causal = benchmark(run_scenario, False)
+    rate = violation_rate(False, range(10))
+    print(f"\nE8b: read step ablated -> violation rate {rate:.0%} over 10 seeds")
+    assert not causal
+    assert rate == 1.0  # this scenario is deterministic: always violated
+
+
+def test_e8_violation_is_the_papers_pattern(benchmark):
+    def witness():
+        result = section3_counterexample(read_before_send=False)
+        run_until_quiescent(result.sim, result.systems)
+        reads = [
+            op.value
+            for op in result.global_history.of_process("S0/reader")
+            if op.is_read and op.value is not None
+        ]
+        return reads
+
+    reads = benchmark(witness)
+    print(f"\nE8c: distant reader observed x = {reads} (u before v is the §3 violation)")
+    assert reads.index("u") < reads.index("v")

@@ -1,0 +1,54 @@
+"""E6 + E7: Theorem 1 and Corollary 1, measured.
+
+Times the full pipeline — build systems, run the interconnected
+simulation, check the global computation — and asserts the causal verdict
+on every configuration the theorems cover.
+"""
+
+from repro.checker import check_causal
+from repro.workloads import WorkloadSpec, build_interconnected
+from repro.workloads.scenarios import run_until_quiescent
+
+SPEC = WorkloadSpec(processes=3, ops_per_process=6, write_ratio=0.5)
+
+
+def run_and_check(protocols, topology="star", shared=True, seed=0):
+    result = build_interconnected(
+        protocols, SPEC, topology=topology, shared=shared, seed=seed
+    )
+    run_until_quiescent(result.sim, result.systems)
+    verdict = check_causal(result.global_history)
+    return verdict, len(result.global_history)
+
+
+def test_e6_two_systems_theorem1(benchmark):
+    verdict, size = benchmark(run_and_check, ["vector-causal", "vector-causal"])
+    print(f"\nE6: two vector-causal systems, {size} global ops -> {verdict.summary()}")
+    assert verdict.ok
+
+
+def test_e6_mixed_protocol_pair(benchmark):
+    verdict, size = benchmark(run_and_check, ["vector-causal", "aw-sequential"])
+    print(f"\nE6: vector + sequential pair, {size} global ops -> {verdict.summary()}")
+    assert verdict.ok
+
+
+def test_e7_star_of_four(benchmark):
+    verdict, size = benchmark(run_and_check, ["vector-causal"] * 4)
+    print(f"\nE7: star of 4 systems, {size} global ops -> {verdict.summary()}")
+    assert verdict.ok
+
+
+def test_e7_chain_of_five(benchmark):
+    verdict, size = benchmark(
+        run_and_check, ["vector-causal"] * 5, topology="chain", shared=False
+    )
+    print(f"\nE7: chain of 5 systems (per-edge IS), {size} ops -> {verdict.summary()}")
+    assert verdict.ok
+
+
+def test_e7_heterogeneous_tree(benchmark):
+    protocols = ["vector-causal", "parametrized-causal", "aw-sequential", "delayed-causal"]
+    verdict, size = benchmark(run_and_check, protocols)
+    print(f"\nE7: heterogeneous star, {size} ops -> {verdict.summary()}")
+    assert verdict.ok

@@ -1,0 +1,74 @@
+"""Checker and simulator scalability.
+
+Not a paper experiment, but the reproduction's own engineering numbers:
+how the polynomial causal checker scales with history size, and the raw
+event throughput of the simulation kernel.
+"""
+
+from repro.checker import check_causal
+from repro.memory.recorder import HistoryRecorder
+from repro.memory.system import DSMSystem
+from repro.protocols import get
+from repro.sim.core import Simulator
+from repro.workloads import WorkloadSpec, populate_system
+from repro.workloads.scenarios import run_until_quiescent
+
+
+def make_history(processes: int, ops_per_process: int, seed: int = 0):
+    sim = Simulator()
+    recorder = HistoryRecorder()
+    system = DSMSystem(sim, "S", get("vector-causal"), recorder=recorder, seed=seed)
+    populate_system(
+        system,
+        WorkloadSpec(processes=processes, ops_per_process=ops_per_process, write_ratio=0.4),
+        seed=seed,
+    )
+    run_until_quiescent(sim, [system])
+    return recorder.history()
+
+
+def test_checker_small_history(benchmark):
+    history = make_history(3, 10)
+    result = benchmark(check_causal, history)
+    print(f"\nchecker: {len(history)} ops")
+    assert result.ok
+
+
+def test_checker_medium_history(benchmark):
+    history = make_history(5, 20)
+    result = benchmark(check_causal, history)
+    print(f"\nchecker: {len(history)} ops")
+    assert result.ok
+
+
+def test_checker_large_history(benchmark):
+    history = make_history(8, 40)
+    result = benchmark(check_causal, history)
+    print(f"\nchecker: {len(history)} ops")
+    assert result.ok
+
+
+def test_simulator_event_throughput(benchmark):
+    def run_events():
+        sim = Simulator()
+        count = 20_000
+
+        def chain(remaining):
+            if remaining:
+                sim.schedule(0.001, lambda: chain(remaining - 1))
+
+        chain(count)
+        sim.run()
+        return sim.events_processed
+
+    processed = benchmark(run_events)
+    assert processed == 20_000
+
+
+def test_simulation_ops_throughput(benchmark):
+    def run_sim():
+        history = make_history(10, 30, seed=1)
+        return len(history)
+
+    size = benchmark(run_sim)
+    assert size == 300

@@ -1,0 +1,41 @@
+"""E11 (§1.1): dial-up operation of the IS channel.
+
+"If the channel is not available during some period of time, the variable
+updates can be queued up to be propagated at a later time." Measures the
+queue depth and the latency penalty as link availability shrinks, and
+verifies causality is never traded away.
+"""
+
+from repro.analysis import Comparison, render_table
+from repro.experiments import dialup_run as run_dialup
+
+
+def test_e11_dialup_queues_and_stays_causal(benchmark):
+    finish, max_queue, mean_delay, causal = benchmark(run_dialup, 400.0, 0.005)
+    always_finish, always_queue, always_delay, always_causal = run_dialup(1.0, 1.0)
+    rows = [
+        Comparison("finish time (vs always-up)", always_finish, finish),
+        Comparison("max queued pairs (vs always-up)", float(always_queue), float(max_queue)),
+        Comparison("mean pair delay (vs always-up)", always_delay, mean_delay),
+    ]
+    print()
+    print(render_table("E11: dial-up link (0.5% duty cycle) vs always-up", rows))
+    assert causal and always_causal
+    assert max_queue > always_queue  # pairs queued while the link was down
+    assert mean_delay > always_delay  # latency is the only cost
+
+def test_e11_availability_sweep(benchmark):
+    def sweep():
+        results = []
+        for up_fraction in (1.0, 0.5, 0.1, 0.02):
+            _, queue_depth, delay, causal = run_dialup(200.0, up_fraction)
+            results.append((up_fraction, queue_depth, delay, causal))
+        return results
+
+    results = benchmark(sweep)
+    print("\nE11 sweep: up_fraction -> (max queue, mean delay, causal)")
+    for up_fraction, queue_depth, delay, causal in results:
+        print(f"  {up_fraction:>5.0%} -> ({queue_depth}, {delay:8.2f}, {causal})")
+    assert all(causal for *_, causal in results)
+    delays = [delay for _, __, delay, ___ in results]
+    assert delays == sorted(delays)  # less availability, more latency

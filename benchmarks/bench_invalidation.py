@@ -1,0 +1,110 @@
+"""Extension experiment X2: invalidation vs propagation economics.
+
+The paper (§1) mentions both replica-control strategies but proves its
+results for propagation only. Measured here:
+
+* invalidation sends no values on write — fetch traffic appears only on
+  demand (reads of invalidated replicas);
+* under a read-light workload invalidation moves far fewer values; under
+  a read-heavy workload the fetch round trips dominate response time;
+* the IS adapter (fetch-on-invalidate, serialised) restores Theorem 1 at
+  the boundary: the bridged union is causal.
+"""
+
+from repro.checker import check_causal
+from repro.memory.recorder import HistoryRecorder
+from repro.memory.system import DSMSystem
+from repro.metrics import TrafficMeter, response_stats
+from repro.protocols import get
+from repro.sim.core import Simulator
+from repro.workloads import WorkloadSpec, build_interconnected, populate_system
+from repro.workloads.scenarios import run_until_quiescent
+
+
+def run_protocol(protocol: str, write_ratio: float, seed: int = 0):
+    sim = Simulator()
+    recorder = HistoryRecorder()
+    system = DSMSystem(sim, "S", get(protocol), recorder=recorder, seed=seed)
+    meter = TrafficMeter().attach(system.network)
+    populate_system(
+        system,
+        WorkloadSpec(processes=5, ops_per_process=6, write_ratio=write_ratio),
+        seed=seed,
+    )
+    run_until_quiescent(sim, [system])
+    history = recorder.history()
+    assert check_causal(history).ok
+    writes = max(sum(1 for op in history if op.is_write), 1)
+    value_messages = meter.by_kind["CausalUpdate"] + meter.by_kind["FetchReply"]
+    return {
+        "value_msgs_per_write": value_messages / writes,
+        "control_msgs_per_write": meter.by_kind["Invalidation"] / writes,
+        "bytes_per_write": meter.total_bytes / writes,
+        "mean_response": response_stats([system]).mean,
+    }
+
+
+def test_x2_invalidation_moves_fewer_values_when_read_light(benchmark):
+    invalidation = benchmark(run_protocol, "invalidation-causal", 0.8)
+    propagation = run_protocol("vector-causal", 0.8)
+    print("\nX2a: write-heavy workload (80% writes), value-bearing messages per write")
+    print(f"  propagation (vector):   {propagation['value_msgs_per_write']:.2f} "
+          f"({propagation['bytes_per_write']:.0f} B/write)")
+    print(f"  invalidation:           {invalidation['value_msgs_per_write']:.2f} "
+          f"({invalidation['bytes_per_write']:.0f} B/write)")
+    assert invalidation["value_msgs_per_write"] < propagation["value_msgs_per_write"]
+    # Byte savings depend on the value size: with this workload's tiny
+    # values the two are close; the large-value test below pins the gap.
+
+
+def test_x2_byte_savings_grow_with_value_size(benchmark):
+    """With realistic value sizes the invalidation protocol's wire savings
+    are decisive: invalidations carry timestamps, not payloads."""
+    from repro.memory.program import Sleep, Write
+    from repro.memory.recorder import HistoryRecorder
+    from repro.memory.system import DSMSystem
+    from repro.sim.core import Simulator
+
+    def run(protocol):
+        sim = Simulator()
+        system = DSMSystem(sim, "S", get(protocol), recorder=HistoryRecorder(), seed=0)
+        meter = TrafficMeter().attach(system.network)
+        payload = "x" * 4096  # a realistic document-sized value
+        system.add_application("A", [Write("doc", payload)])
+        for index in range(4):
+            system.add_application(f"p{index}", [Sleep(20.0)])
+        sim.run()
+        return meter.total_bytes
+
+    invalidation_bytes = benchmark(run, "invalidation-causal")
+    propagation_bytes = run("vector-causal")
+    print(
+        f"\nX2d: 4 KiB value, write-only, nobody reads: "
+        f"propagation {propagation_bytes} B vs invalidation {invalidation_bytes} B"
+    )
+    assert invalidation_bytes < propagation_bytes / 10
+
+
+def test_x2_fetches_cost_read_latency(benchmark):
+    invalidation = benchmark(run_protocol, "invalidation-causal", 0.3)
+    propagation = run_protocol("vector-causal", 0.3)
+    print("\nX2b: read-heavy workload (30% writes), mean response time")
+    print(f"  propagation (vector):   {propagation['mean_response']:.3f}")
+    print(f"  invalidation:           {invalidation['mean_response']:.3f}")
+    assert propagation["mean_response"] == 0.0
+    assert invalidation["mean_response"] > 0.0
+
+
+def test_x2_bridged_invalidation_system_is_causal(benchmark):
+    def run():
+        result = build_interconnected(
+            ["invalidation-causal", "vector-causal"],
+            WorkloadSpec(processes=3, ops_per_process=5, write_ratio=0.5),
+            seed=4,
+        )
+        run_until_quiescent(result.sim, result.systems)
+        return check_causal(result.global_history).ok
+
+    causal = benchmark(run)
+    print(f"\nX2c: invalidation system bridged via fetch-on-invalidate adapter -> causal={causal}")
+    assert causal

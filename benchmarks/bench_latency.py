@@ -1,0 +1,75 @@
+"""E4: visibility latency (§6).
+
+The paper: flat latency ``l``; star of ``m`` systems, worst case
+``3l + 2d`` (leaf -> hub -> leaf). We reproduce both, plus two findings
+the analysis implies but does not state:
+
+* shared IS-processes forward pairs on receipt, saving one hub-internal
+  propagation: ``2l + 2d``;
+* a chain of ``m`` systems costs ``m*l + (m-1)*d``.
+"""
+
+from repro.analysis import (
+    Comparison,
+    chain_worst_latency,
+    flat_latency,
+    render_table,
+    star_worst_latency,
+)
+from repro.experiments import LATENCY_D as D
+from repro.experiments import LATENCY_L as L
+from repro.experiments import latency_flat as run_flat
+from repro.experiments import latency_tree as run_tree
+
+
+def test_e4_flat_latency(benchmark):
+    measured = benchmark(run_flat)
+    rows = [Comparison("flat", flat_latency(L), measured)]
+    print()
+    print(render_table("E4a: flat system latency (model: l)", rows))
+    assert rows[0].within(0.0)
+
+
+def test_e4_star_per_edge(benchmark):
+    measured = benchmark(run_tree, 4, "star", False)
+    rows = [Comparison("star m=4 per-edge", star_worst_latency(L, D, 4), measured)]
+    for m in (3, 5):
+        rows.append(
+            Comparison(
+                f"star m={m} per-edge",
+                star_worst_latency(L, D, m),
+                run_tree(m, "star", False),
+            )
+        )
+    print()
+    print(render_table("E4b: star, per-edge IS-processes (model: 3l+2d)", rows))
+    assert all(row.within(0.0) for row in rows)
+
+
+def test_e4_star_shared_beats_model(benchmark):
+    measured = benchmark(run_tree, 4, "star", True)
+    predicted = 2 * L + 2 * D  # our shared-IS refinement
+    rows = [
+        Comparison("star m=4 shared (refined model 2l+2d)", predicted, measured),
+        Comparison("paper bound 3l+2d (upper bound)", star_worst_latency(L, D, 4), measured),
+    ]
+    print()
+    print(render_table("E4c: star, shared IS-processes", rows))
+    assert measured == predicted
+    assert measured <= star_worst_latency(L, D, 4)
+
+
+def test_e4_chain(benchmark):
+    measured = benchmark(run_tree, 4, "chain", False)
+    rows = [Comparison("chain m=4 per-edge", chain_worst_latency(L, D, 4), measured)]
+    for m in (2, 3, 6):
+        rows.append(
+            Comparison(
+                f"chain m={m} per-edge",
+                chain_worst_latency(L, D, m),
+                run_tree(m, "chain", False),
+            )
+        )
+    print()
+    print(render_table("E4d: chain latency (model: m*l + (m-1)*d)", rows))
+    assert all(row.within(0.0) for row in rows)

@@ -1,0 +1,61 @@
+"""E3: bottleneck-link traffic (§6).
+
+The paper's motivating deployment: one causal system spanning two LANs
+joined by a slow point-to-point link. Flat, every write crosses the link
+``n/2`` times (once per far-side MCS-process); interconnected, exactly
+once. This is the experiment where the interconnection wins outright.
+"""
+
+from repro.analysis import (
+    Comparison,
+    bottleneck_crossings_flat,
+    bottleneck_crossings_interconnected,
+    render_table,
+)
+from repro.experiments import (
+    crossings_per_write_bridged as run_bridged,
+    crossings_per_write_flat as run_flat_split,
+)
+
+
+def test_e3_flat_crossings(benchmark):
+    measured = benchmark(run_flat_split, 4)
+    rows = [Comparison("flat 4+4", bottleneck_crossings_flat(4), measured)]
+    for per_side in (2, 6, 8):
+        rows.append(
+            Comparison(
+                f"flat {per_side}+{per_side}",
+                bottleneck_crossings_flat(per_side),
+                run_flat_split(per_side),
+            )
+        )
+    print()
+    print(render_table("E3a: flat split system, link crossings per write (model: n/2)", rows))
+    assert all(row.within(0.0) for row in rows)
+
+
+def test_e3_bridged_crossings(benchmark):
+    measured = benchmark(run_bridged, 4)
+    rows = [Comparison("bridged 4+4", bottleneck_crossings_interconnected(), measured)]
+    for per_side in (2, 6, 8):
+        rows.append(
+            Comparison(
+                f"bridged {per_side}+{per_side}",
+                bottleneck_crossings_interconnected(),
+                run_bridged(per_side),
+            )
+        )
+    print()
+    print(render_table("E3b: interconnected, link crossings per write (model: 1)", rows))
+    assert all(row.within(0.0) for row in rows)
+
+
+def test_e3_win_grows_with_system_size(benchmark):
+    """The crossover claim: the flat system's link traffic grows linearly
+    with n while the bridge stays at one message per write."""
+
+    def ratio():
+        return run_flat_split(8) / run_bridged(8)
+
+    value = benchmark(ratio)
+    assert value == 8.0

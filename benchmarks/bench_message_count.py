@@ -1,0 +1,93 @@
+"""E1 + E2: messages per write — flat versus interconnected (§6).
+
+Regenerates the paper's message-count analysis:
+
+* flat causal system, ``n`` MCS-processes  -> ``n - 1`` messages/write;
+* two systems                              -> ``n + 1``;
+* ``m`` systems, shared IS-processes       -> ``n + m - 1``;
+* ``m`` systems, per-edge IS-processes     -> ``n + 2m - 3``.
+
+The measured counts must match the closed forms exactly (the vector
+protocol matches the paper's cost model exactly).
+"""
+
+from repro.analysis import (
+    Comparison,
+    flat_messages_per_write,
+    interconnected_messages_per_write,
+    render_table,
+)
+from repro.experiments import (
+    messages_per_write_flat as run_flat,
+    messages_per_write_interconnected as run_interconnected,
+)
+
+
+def test_e1_flat_message_count(benchmark):
+    measured = benchmark(run_flat, 8)
+    rows = [Comparison("flat n=8", flat_messages_per_write(8), measured)]
+    for n in (2, 4, 16):
+        rows.append(Comparison(f"flat n={n}", flat_messages_per_write(n), run_flat(n)))
+    print()
+    print(render_table("E1: flat system, messages per write (model: n-1)", rows))
+    assert all(row.within(0.0) for row in rows)
+
+
+def test_e2_interconnected_shared(benchmark):
+    measured, n = benchmark(run_interconnected, 3, True)
+    rows = [
+        Comparison(
+            f"m=3 shared (n={n})",
+            interconnected_messages_per_write(n, 3, shared=True),
+            measured,
+        )
+    ]
+    for m in (2, 4, 5):
+        value, total_n = run_interconnected(m, True)
+        rows.append(
+            Comparison(
+                f"m={m} shared (n={total_n})",
+                interconnected_messages_per_write(total_n, m, shared=True),
+                value,
+            )
+        )
+    print()
+    print(render_table("E2a: interconnected, shared IS-processes (model: n+m-1)", rows))
+    assert all(row.within(0.0) for row in rows)
+
+
+def test_e2_interconnected_per_edge(benchmark):
+    measured, n = benchmark(run_interconnected, 3, False)
+    rows = [
+        Comparison(
+            f"m=3 per-edge (n={n})",
+            interconnected_messages_per_write(n, 3, shared=False),
+            measured,
+        )
+    ]
+    for m in (2, 4, 5):
+        value, total_n = run_interconnected(m, False)
+        rows.append(
+            Comparison(
+                f"m={m} per-edge (n={total_n})",
+                interconnected_messages_per_write(total_n, m, shared=False),
+                value,
+            )
+        )
+    print()
+    print(render_table("E2b: interconnected, per-edge IS-processes (model: n+2m-3)", rows))
+    assert all(row.within(0.0) for row in rows)
+
+
+def test_e2_overhead_is_modest(benchmark):
+    """The paper's point: total message overhead of interconnection is
+    only m extra messages per write — the win is on the bottleneck link."""
+
+    def overhead():
+        flat = run_flat(8)
+        bridged, n = run_interconnected(2, True)
+        return bridged - flat
+
+    delta = benchmark(overhead)
+    # 8 flat processes vs 2x4 interconnected: n+1 vs n-1 => +2.
+    assert delta == 2.0

@@ -1,0 +1,36 @@
+"""E5: response time (§6).
+
+"Our IS-protocols should not affect the response time a process observes
+when issuing a memory operation, since its MCS-process is not affected by
+the interconnection." Measured: identical response-time distributions for
+a system running alone and the same system bridged to a peer.
+"""
+
+from repro.analysis import Comparison, render_table
+from repro.experiments import response_time as measure
+
+
+def test_e5_vector_protocol_unaffected(benchmark):
+    bridged = benchmark(measure, ["vector-causal", "vector-causal"])
+    alone = measure(["vector-causal"])
+    rows = [
+        Comparison("mean response, alone", alone.mean, bridged.mean),
+        Comparison("max response, alone", alone.maximum, bridged.maximum),
+    ]
+    print()
+    print(render_table("E5a: vector protocol response time, alone vs bridged", rows))
+    assert bridged.mean == alone.mean
+    assert bridged.maximum == alone.maximum
+
+
+def test_e5_sequential_protocol_unaffected(benchmark):
+    """Even for a protocol with non-zero write latency (the sequential
+    writer blocks on the total order), bridging leaves the response time
+    distribution unchanged — the IS-process is just one more application."""
+    bridged = benchmark(measure, ["aw-sequential", "vector-causal"])
+    alone = measure(["aw-sequential"])
+    rows = [Comparison("mean response, alone", alone.mean, bridged.mean)]
+    print()
+    print(render_table("E5b: sequential protocol response time, alone vs bridged", rows))
+    assert alone.mean > 0.0  # writes really do block
+    assert bridged.mean == alone.mean

@@ -1,0 +1,32 @@
+"""E10 (§1.1): interconnecting sequential systems.
+
+"Two sequential systems can be interconnected so that the overall
+resulting system is causal. Clearly, the system obtained most possibly
+will not be sequential." Both halves measured: the union is always
+causal, and the cross-system Dekker race shows it is not sequential.
+"""
+
+from repro.experiments import (
+    sequential_bridge_dekker as run_dekker,
+    sequential_bridge_random as run_random_bridge,
+)
+
+
+def test_e10_union_is_causal(benchmark):
+    causal, _ = benchmark(run_random_bridge, 3)
+    results = [run_random_bridge(seed) for seed in range(8)]
+    causal_rate = sum(1 for causal_ok, _ in results if causal_ok) / len(results)
+    sequential_rate = sum(1 for _, seq_ok in results if seq_ok) / len(results)
+    print(
+        f"\nE10: bridged sequential systems over 8 seeds -> "
+        f"causal {causal_rate:.0%}, still-sequential {sequential_rate:.0%}"
+    )
+    assert causal
+    assert causal_rate == 1.0
+
+
+def test_e10_union_not_sequential(benchmark):
+    causal, sequential = benchmark(run_dekker)
+    print(f"\nE10 (Dekker race): causal={causal}, sequential={sequential}")
+    assert causal
+    assert not sequential

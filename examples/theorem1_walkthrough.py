@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""The paper's proof of Theorem 1, executed step by step.
+
+Builds two interconnected causal systems, runs a tiny workload, and then
+walks Definition 7's construction for one process:
+
+  1. project the per-system computation alpha^k and find a causal view
+     beta^k_i (Definition 3),
+  2. replace every IS-process write with the original write it propagates
+     (orig(op), Definition 7),
+  3. verify the three lemmas on the result: permutation of alpha^T_i
+     (Lemma 7), causal-order preservation (Lemma 8), legality (Lemma 9).
+
+Run:  python examples/theorem1_walkthrough.py
+"""
+
+from repro import (
+    DSMSystem,
+    HistoryRecorder,
+    Read,
+    Simulator,
+    Sleep,
+    Write,
+    get_protocol,
+    interconnect,
+    run_until_quiescent,
+)
+from repro.checker.theorem1 import construct_global_view, verify_theorem1_construction
+from repro.checker.views import find_causal_view
+from repro.viz import render_spacetime
+
+
+def main() -> None:
+    sim = Simulator()
+    recorder = HistoryRecorder()
+    s0 = DSMSystem(sim, "S0", get_protocol("vector-causal"), recorder=recorder)
+    s1 = DSMSystem(sim, "S1", get_protocol("parametrized-causal"), recorder=recorder)
+
+    s0.add_application("ana", [Write("x", "a1"), Sleep(3.0), Write("y", "a2")])
+
+    def boris():
+        while True:
+            seen = yield Read("y")
+            if seen == "a2":
+                break
+            yield Sleep(1.0)
+        yield Read("x")
+        yield Write("z", "b1")
+
+    s1.add_application("boris", boris())
+    interconnect([s0, s1], delay=1.0)
+    run_until_quiescent(sim, [s0, s1])
+    full = recorder.history()
+
+    print("the execution (application operations only):")
+    print(render_spacetime(full.without_interconnect(), columns=6, lane_width=16))
+    print()
+
+    proc = "boris"
+    alpha_k = full.for_system("S1")
+    print(f"alpha^1 (system S1's computation, IS-process operations included):")
+    print(alpha_k.pretty())
+    print()
+
+    beta = find_causal_view(alpha_k, proc)
+    print(f"beta^1_{proc} — a causal view of alpha^1_{proc} (Definition 3):")
+    print("  " + "  ".join(str(op) for op in beta))
+    print()
+
+    gamma = construct_global_view(full, proc)
+    print(f"gamma^T_{proc} — IS-process writes replaced by orig(op) (Definition 7):")
+    print("  " + "  ".join(str(op) for op in gamma))
+    print()
+
+    verify_theorem1_construction(full, proc)
+    print("Lemma 7 (permutation of alpha^T), Lemma 8 (causal order preserved),")
+    print("Lemma 9 (legal): all verified — gamma^T is a causal view, as Theorem 1")
+    print("promises. The same construction succeeds for every process:")
+    for system in (s0, s1):
+        for app in system.app_processes:
+            view = verify_theorem1_construction(full, app.name)
+            print(f"  {app.name}: verified ({len(view)} operations)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,21 @@
+#!/usr/bin/env python3
+"""Regenerate EXPERIMENTS.md: run every experiment, record paper-vs-measured.
+
+Run:  python scripts/run_experiments.py  [output-path]
+"""
+
+import sys
+
+from repro.reporting import generate_report
+
+
+def main() -> None:
+    output = sys.argv[1] if len(sys.argv) > 1 else "EXPERIMENTS.md"
+    report = generate_report(progress=lambda title: print(f"running {title} ...", flush=True))
+    with open(output, "w", encoding="utf-8") as handle:
+        handle.write(report)
+    print(f"wrote {output}")
+
+
+if __name__ == "__main__":
+    main()

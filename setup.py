@@ -1,0 +1,16 @@
+"""Legacy setup shim: this offline environment lacks the `wheel` package,
+so editable installs must go through setuptools' setup.py path."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'On the interconnection of causal memory systems' "
+        "(Fernandez, Jimenez, Cholvi)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+)

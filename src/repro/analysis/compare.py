@@ -1,0 +1,46 @@
+"""Measured-versus-model comparison helpers for the benchmark harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """One model-vs-measurement row of an experiment report."""
+
+    label: str
+    predicted: float
+    measured: float
+
+    @property
+    def ratio(self) -> float:
+        if self.predicted == 0:
+            return float("inf") if self.measured else 1.0
+        return self.measured / self.predicted
+
+    @property
+    def relative_error(self) -> float:
+        if self.predicted == 0:
+            return abs(self.measured)
+        return abs(self.measured - self.predicted) / abs(self.predicted)
+
+    def within(self, tolerance: float) -> bool:
+        """True if the measurement is within *tolerance* relative error."""
+        return self.relative_error <= tolerance
+
+    def row(self) -> str:
+        return (
+            f"{self.label:<42} predicted={self.predicted:>10.3f} "
+            f"measured={self.measured:>10.3f} ratio={self.ratio:>6.3f}"
+        )
+
+
+def render_table(title: str, rows: list[Comparison]) -> str:
+    """A plain-text experiment table, paper-style."""
+    lines = [title, "-" * len(title)]
+    lines.extend(row.row() for row in rows)
+    return "\n".join(lines)
+
+
+__all__ = ["Comparison", "render_table"]

@@ -1,0 +1,99 @@
+"""The closed-form performance model of §6.
+
+The paper assumes an MCS protocol that generates ``x - 1`` messages per
+write in a system with ``x`` MCS-processes (our vector-clock causal
+protocol does exactly that) and no messages per read. From that:
+
+* a flat system with ``n`` MCS-processes: ``n - 1`` messages per write;
+* two interconnected systems (sizes summing to ``n`` application
+  MCS-processes): ``n + 1`` messages per write (two extra IS-attached
+  MCS-processes, plus one message over the link);
+* ``m`` systems, one *shared* IS-process per system: ``n + m - 1``;
+* ``m`` systems with one IS-process per system *per link* (the §5
+  pairwise construction): ``n + 2m - 3``;
+* bottleneck link: ``n_far`` messages per write cross in a flat split
+  system versus exactly ``1`` when interconnected;
+* worst-case visibility latency in a star of ``m >= 3`` systems:
+  ``3l + 2d`` (leaf -> hub -> leaf), versus ``l`` flat.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+
+def flat_messages_per_write(n: int) -> int:
+    """Messages per write in a flat system of *n* MCS-processes."""
+    if n < 1:
+        raise ConfigurationError(f"need at least one MCS-process, got {n}")
+    return n - 1
+
+
+def interconnected_messages_per_write(n: int, m: int, shared: bool = True) -> int:
+    """Messages per write across *m* interconnected systems.
+
+    *n* counts application MCS-processes over all systems (the paper's
+    ``n``). With ``shared=True`` each system hosts one IS-process serving
+    all of its links (the paper's §6 assumption, total ``n + m - 1``);
+    with ``shared=False`` each link gets its own IS-process pair (the §5
+    construction, total ``n + 2(m - 1) - m + (m - 1) = n + 2m - 3``).
+    """
+    if m < 1:
+        raise ConfigurationError(f"need at least one system, got {m}")
+    if m == 1:
+        return flat_messages_per_write(n)
+    if shared:
+        return n + m - 1
+    return n + 2 * m - 3
+
+
+def bottleneck_crossings_flat(n_far: int) -> int:
+    """Messages crossing the inter-LAN link per write in a flat system:
+    one per MCS-process on the far side."""
+    return n_far
+
+
+def bottleneck_crossings_interconnected() -> int:
+    """Messages crossing the link per write with an IS bridge: exactly 1."""
+    return 1
+
+
+def flat_latency(l: float) -> float:
+    """Visibility latency of a flat system (the paper's ``l``)."""
+    return l
+
+
+def star_worst_latency(l: float, d: float, m: int) -> float:
+    """Worst-case visibility latency of a star of *m* systems.
+
+    For ``m >= 3`` a write in one leaf must traverse leaf -> hub -> leaf:
+    three system-internal propagations and two link hops, ``3l + 2d``.
+    For ``m == 2`` there is no second leaf: ``2l + d``. For ``m == 1``
+    it's just ``l``.
+    """
+    if m < 1:
+        raise ConfigurationError(f"need at least one system, got {m}")
+    if m == 1:
+        return l
+    if m == 2:
+        return 2 * l + d
+    return 3 * l + 2 * d
+
+
+def chain_worst_latency(l: float, d: float, m: int) -> float:
+    """Worst-case visibility latency of a chain of *m* systems:
+    every system traversed once, every link once: ``m*l + (m-1)*d``."""
+    if m < 1:
+        raise ConfigurationError(f"need at least one system, got {m}")
+    return m * l + (m - 1) * d
+
+
+__all__ = [
+    "flat_messages_per_write",
+    "interconnected_messages_per_write",
+    "bottleneck_crossings_flat",
+    "bottleneck_crossings_interconnected",
+    "flat_latency",
+    "star_worst_latency",
+    "chain_worst_latency",
+]

@@ -1,0 +1,123 @@
+"""What-if analysis of the §1.1 deployment question.
+
+The paper's motivation: a causal system spanning two LANs joined by a
+slow point-to-point link — run one flat system, or two interconnected
+ones? §6 gives the raw counts; these helpers turn them into the
+quantities an operator would actually compare: bytes per second on the
+slow link, the sustainable write rate it implies, and the total-traffic
+overhead the interconnection costs in exchange.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.analysis.model import (
+    bottleneck_crossings_flat,
+    bottleneck_crossings_interconnected,
+    flat_messages_per_write,
+    interconnected_messages_per_write,
+)
+
+
+@dataclass(frozen=True)
+class LinkLoad:
+    """Traffic on the bottleneck link under both deployments."""
+
+    flat_messages_per_write: float
+    bridged_messages_per_write: float
+    flat_bytes_per_second: float
+    bridged_bytes_per_second: float
+
+    @property
+    def saving_factor(self) -> float:
+        if self.bridged_bytes_per_second == 0:
+            return float("inf")
+        return self.flat_bytes_per_second / self.bridged_bytes_per_second
+
+
+def link_load(
+    n_far: int,
+    writes_per_second: float,
+    message_bytes: float = 256.0,
+) -> LinkLoad:
+    """Bottleneck-link load: flat (every write crosses once per far-side
+    MCS-process) versus interconnected (exactly once)."""
+    if n_far < 1 or writes_per_second < 0:
+        raise ConfigurationError("need n_far >= 1 and a nonnegative write rate")
+    flat = bottleneck_crossings_flat(n_far)
+    bridged = bottleneck_crossings_interconnected()
+    return LinkLoad(
+        flat_messages_per_write=flat,
+        bridged_messages_per_write=bridged,
+        flat_bytes_per_second=flat * writes_per_second * message_bytes,
+        bridged_bytes_per_second=bridged * writes_per_second * message_bytes,
+    )
+
+
+def sustainable_write_rate(
+    link_bytes_per_second: float,
+    n_far: int,
+    message_bytes: float = 256.0,
+    interconnected: bool = True,
+) -> float:
+    """The write rate the slow link can sustain under each deployment.
+
+    The interconnection multiplies the sustainable system-wide write rate
+    by ``n_far`` — the §1.1 claim as a capacity number.
+    """
+    if link_bytes_per_second <= 0 or message_bytes <= 0:
+        raise ConfigurationError("need positive bandwidth and message size")
+    crossings = (
+        bottleneck_crossings_interconnected()
+        if interconnected
+        else bottleneck_crossings_flat(n_far)
+    )
+    return link_bytes_per_second / (crossings * message_bytes)
+
+
+def total_message_overhead(n: int, m: int, shared: bool = True) -> int:
+    """What the interconnection costs in *total* traffic per write.
+
+    Flat is always cheaper in total (`n - 1` vs `n + m - 1`): the
+    overhead is exactly ``m`` messages per write with shared IS-processes
+    (``2m - 2`` per-edge) — independent of ``n``, which is why the trade
+    wins as systems grow: the win on the link scales with ``n``, the cost
+    does not.
+    """
+    return interconnected_messages_per_write(n, m, shared=shared) - flat_messages_per_write(n)
+
+
+def worth_interconnecting(
+    n_far: int,
+    link_bytes_per_second: float,
+    lan_bytes_per_second: float,
+    writes_per_second: float,
+    message_bytes: float = 256.0,
+    m: int = 2,
+    n: int | None = None,
+) -> bool:
+    """Decision helper: does the interconnected deployment fit where the
+    flat one does not (or relieve a link already over capacity)?
+
+    True when the flat deployment overloads the slow link while the
+    interconnected one fits within both the link and the LAN budgets.
+    """
+    n = n if n is not None else 2 * n_far
+    load = link_load(n_far, writes_per_second, message_bytes)
+    flat_fits = load.flat_bytes_per_second <= link_bytes_per_second
+    bridged_fits = load.bridged_bytes_per_second <= link_bytes_per_second
+    lan_traffic = (
+        interconnected_messages_per_write(n, m) * writes_per_second * message_bytes
+    )
+    return (not flat_fits) and bridged_fits and lan_traffic <= lan_bytes_per_second
+
+
+__all__ = [
+    "LinkLoad",
+    "link_load",
+    "sustainable_write_rate",
+    "total_message_overhead",
+    "worth_interconnecting",
+]

@@ -1,0 +1,43 @@
+"""Consistency checkers: causal (fast + certificate), sequential, PRAM, cache."""
+
+from repro.checker.cache import check_cache
+from repro.checker.causal import causal_order, check_causal
+from repro.checker.convergence import check_causal_convergence
+from repro.checker.pram import check_pram
+from repro.checker.report import CheckResult, Violation
+from repro.checker.sequential import check_sequential
+from repro.checker.theorem1 import (
+    construct_global_view,
+    original_write,
+    verify_theorem1_construction,
+)
+from repro.checker.sessions import (
+    check_all_session_guarantees,
+    check_monotonic_reads,
+    check_monotonic_writes,
+    check_read_your_writes,
+    check_writes_follow_reads,
+)
+from repro.checker.views import check_causal_by_views, find_causal_view, search_legal_sequence
+
+__all__ = [
+    "check_causal",
+    "check_causal_by_views",
+    "check_sequential",
+    "check_pram",
+    "check_cache",
+    "check_causal_convergence",
+    "check_read_your_writes",
+    "check_monotonic_reads",
+    "check_monotonic_writes",
+    "check_writes_follow_reads",
+    "check_all_session_guarantees",
+    "causal_order",
+    "construct_global_view",
+    "original_write",
+    "verify_theorem1_construction",
+    "find_causal_view",
+    "search_legal_sequence",
+    "CheckResult",
+    "Violation",
+]

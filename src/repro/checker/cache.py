@@ -1,0 +1,40 @@
+"""Cache consistency checker.
+
+Cache consistency (Goodman) requires sequential consistency *per
+variable*: for each variable ``x``, the sub-history of operations on ``x``
+has a single legal serialization preserving program order. The
+parametrized protocol's cache mode targets exactly this model.
+"""
+
+from __future__ import annotations
+
+from repro.checker.report import CheckResult, Violation
+from repro.checker.sequential import check_sequential
+from repro.memory.history import History
+
+
+def check_cache(history: History, max_states: int = 500_000) -> CheckResult:
+    """Decide cache consistency variable by variable."""
+    result = CheckResult(model="cache", ok=True, size=len(history))
+    if not history:
+        return result
+    history.validate()
+    for var in history.variables():
+        sub = history.filter(lambda op, _var=var: op.var == _var)
+        verdict = check_sequential(sub, max_states=max_states)
+        if not verdict.ok:
+            result.ok = False
+            result.violations.append(
+                Violation(
+                    pattern="NoLegalSerialization",
+                    process=None,
+                    operations=(),
+                    detail=f"operations on variable {var!r} are not sequentially consistent",
+                )
+            )
+        else:
+            result.views[var] = verdict.views.get("*", [])
+    return result
+
+
+__all__ = ["check_cache"]

@@ -1,0 +1,92 @@
+"""Relation (directed graph) utilities over operation indices.
+
+Relations are kept as per-node successor bitmasks (Python ints), which
+makes transitive closure and reachability cheap for the history sizes the
+checkers handle (hundreds to a few thousand operations).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Sequence
+
+
+class Relation:
+    """A binary relation over ``range(size)`` with bitmask adjacency."""
+
+    __slots__ = ("size", "_succ")
+
+    def __init__(self, size: int) -> None:
+        self.size = size
+        self._succ: list[int] = [0] * size
+
+    def add(self, a: int, b: int) -> bool:
+        """Add the pair (a, b); returns True if it was new."""
+        bit = 1 << b
+        if self._succ[a] & bit:
+            return False
+        self._succ[a] |= bit
+        return True
+
+    def has(self, a: int, b: int) -> bool:
+        return bool(self._succ[a] & (1 << b))
+
+    def successors_mask(self, a: int) -> int:
+        return self._succ[a]
+
+    def successors(self, a: int) -> Iterator[int]:
+        mask = self._succ[a]
+        while mask:
+            low = mask & -mask
+            yield low.bit_length() - 1
+            mask ^= low
+
+    def copy(self) -> "Relation":
+        dup = Relation(self.size)
+        dup._succ = list(self._succ)
+        return dup
+
+    def transitive_closure(self) -> "Relation":
+        """The transitive closure (fixpoint of mask propagation)."""
+        closure = self.copy()
+        succ = closure._succ
+        changed = True
+        while changed:
+            changed = False
+            for node in range(closure.size):
+                mask = succ[node]
+                acc = mask
+                remaining = mask
+                while remaining:
+                    low = remaining & -remaining
+                    acc |= succ[low.bit_length() - 1]
+                    remaining ^= low
+                if acc != mask:
+                    succ[node] = acc
+                    changed = True
+        return closure
+
+    def cycle_node(self) -> Optional[int]:
+        """A node on a cycle of the *closed* relation, or None.
+
+        Only meaningful when called on a transitive closure.
+        """
+        for node in range(self.size):
+            if self._succ[node] & (1 << node):
+                return node
+        return None
+
+    def restrict(self, keep: Sequence[int]) -> "Relation":
+        """The induced subrelation, reindexed to ``range(len(keep))``."""
+        sub = Relation(len(keep))
+        for new_a, old_a in enumerate(keep):
+            mask = self._succ[old_a]
+            for new_b, old_b in enumerate(keep):
+                if mask & (1 << old_b):
+                    sub.add(new_a, new_b)
+        return sub
+
+    def edge_count(self) -> int:
+        return sum(mask.bit_count() for mask in self._succ)
+
+
+__all__ = ["Relation"]

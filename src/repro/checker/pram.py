@@ -1,0 +1,61 @@
+"""PRAM (pipelined RAM / FIFO) consistency checker.
+
+PRAM requires, for each process ``i``, a legal serialization of alpha_i
+(all writes plus ``i``'s reads) that preserves every process's program
+order — but, unlike causal consistency, not the transitive reads-from
+causality. PRAM is strictly weaker than causal; the
+:mod:`repro.protocols.faulty` FIFO protocol is PRAM but not causal, which
+the tests use to separate the two checkers.
+"""
+
+from __future__ import annotations
+
+from repro.errors import CheckerError
+from repro.checker.graph import Relation
+from repro.checker.report import CheckResult, Violation
+from repro.checker.views import search_legal_sequence
+from repro.memory.history import History
+
+
+def check_pram(history: History, max_states: int = 500_000) -> CheckResult:
+    """Decide PRAM consistency, with per-process serialization certificates."""
+    result = CheckResult(model="pram", ok=True, size=len(history))
+    if not history:
+        return result
+    history.validate()
+    try:
+        history.reads_from()
+    except CheckerError as exc:
+        result.ok = False
+        result.violations.append(
+            Violation(pattern="ThinAirRead", process=None, operations=(), detail=str(exc))
+        )
+        return result
+    for proc in history.processes():
+        if not any(op.is_read for op in history.of_process(proc)):
+            continue
+        projection = history.projection(proc)
+        ops = list(projection.operations)
+        index = {op.op_id: position for position, op in enumerate(ops)}
+        order = Relation(len(ops))
+        for other in projection.processes():
+            sequence = projection.of_process(other)
+            for earlier, later in zip(sequence, sequence[1:]):
+                order.add(index[earlier.op_id], index[later.op_id])
+        view = search_legal_sequence(ops, order, max_states=max_states)
+        if view is None:
+            result.ok = False
+            result.violations.append(
+                Violation(
+                    pattern="NoLegalView",
+                    process=proc,
+                    operations=(),
+                    detail=f"alpha_{proc} admits no program-order-preserving legal permutation",
+                )
+            )
+        else:
+            result.views[proc] = view
+    return result
+
+
+__all__ = ["check_pram"]

@@ -1,0 +1,59 @@
+"""Checker results and violation reports."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.memory.operations import Operation
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One witnessed consistency violation.
+
+    Attributes:
+        pattern: the bad-pattern name (``CyclicCO``, ``WriteCOInitRead``,
+            ``ThinAirRead``, ``CyclicHB``, ``WriteHBInitRead``,
+            ``NoLegalView``, ``NoLegalSerialization``).
+        process: the process whose view fails (None for global patterns).
+        operations: the operations witnessing the violation.
+        detail: human-readable explanation.
+    """
+
+    pattern: str
+    process: Optional[str]
+    operations: tuple[Operation, ...]
+    detail: str
+
+    def __str__(self) -> str:
+        where = f" [process {self.process}]" if self.process else ""
+        ops = "; ".join(str(op) for op in self.operations)
+        return f"{self.pattern}{where}: {self.detail} ({ops})"
+
+
+@dataclass
+class CheckResult:
+    """Outcome of a consistency check against one model."""
+
+    model: str
+    ok: bool
+    violations: list[Violation] = field(default_factory=list)
+    #: Optional certificates: per-process views (causal/PRAM) or the
+    #: single serialization (sequential), when the checker produces them.
+    views: dict[str, list[Operation]] = field(default_factory=dict)
+    #: Number of operations checked.
+    size: int = 0
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+    def summary(self) -> str:
+        if self.ok:
+            return f"{self.model}: OK ({self.size} operations)"
+        lines = [f"{self.model}: VIOLATED ({len(self.violations)} witnesses)"]
+        lines.extend(f"  - {violation}" for violation in self.violations)
+        return "\n".join(lines)
+
+
+__all__ = ["CheckResult", "Violation"]

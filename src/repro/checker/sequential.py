@@ -1,0 +1,57 @@
+"""Sequential consistency checker.
+
+A history is sequentially consistent if *one* legal sequence contains all
+operations of all processes and preserves every process's program order.
+Deciding this is NP-hard in general; the backtracking search of
+:mod:`repro.checker.views` handles the moderate histories produced by the
+test workloads. Used for experiment E10 (two sequential systems bridge
+into a causal — usually no longer sequential — system).
+"""
+
+from __future__ import annotations
+
+from repro.errors import CheckerError
+from repro.checker.graph import Relation
+from repro.checker.report import CheckResult, Violation
+from repro.checker.views import search_legal_sequence
+from repro.memory.history import History
+
+
+def check_sequential(history: History, max_states: int = 500_000) -> CheckResult:
+    """Decide sequential consistency, producing the serialization if any."""
+    result = CheckResult(model="sequential", ok=True, size=len(history))
+    if not history:
+        return result
+    history.validate()
+    try:
+        history.reads_from()
+    except CheckerError as exc:
+        result.ok = False
+        result.violations.append(
+            Violation(pattern="ThinAirRead", process=None, operations=(), detail=str(exc))
+        )
+        return result
+    ops = list(history.operations)
+    index = {op.op_id: position for position, op in enumerate(ops)}
+    order = Relation(len(ops))
+    for proc in history.processes():
+        sequence = history.of_process(proc)
+        for earlier, later in zip(sequence, sequence[1:]):
+            order.add(index[earlier.op_id], index[later.op_id])
+    serialization = search_legal_sequence(ops, order, max_states=max_states)
+    if serialization is None:
+        result.ok = False
+        result.violations.append(
+            Violation(
+                pattern="NoLegalSerialization",
+                process=None,
+                operations=(),
+                detail="no legal total order preserves all program orders",
+            )
+        )
+    else:
+        result.views["*"] = serialization
+    return result
+
+
+__all__ = ["check_sequential"]

@@ -1,0 +1,271 @@
+"""Session-guarantee checkers (Terry et al., PDIS 1994).
+
+Causal memory subsumes the four classic session guarantees; checking them
+individually localises *why* a weaker protocol fails and gives the test
+suite a finer-grained lattice than causal/PRAM alone:
+
+* **Read Your Writes (RYW)** — a process's read of ``x`` must not miss a
+  write to ``x`` the same process issued earlier.
+* **Monotonic Reads (MR)** — successive reads of ``x`` by one process
+  never go backwards in causal order.
+* **Monotonic Writes (MW)** — two writes to ``x`` by one process are
+  observed by everyone in program order.
+* **Writes Follow Reads (WFR)** — a write issued after reading ``v`` is
+  ordered after ``v``'s write at every observer.
+
+Formalisation used here (for differentiated histories, values written at
+most once per variable): all four are phrased as *forbidden read
+patterns* over the causal order ``CO`` (program order + reads-from,
+transitively closed). A read "misses" a write ``w`` when ``w`` should
+precede the read's source but the source neither equals ``w`` nor
+causally follows it. This matches the standard per-variable reading of
+the guarantees and makes each check polynomial.
+
+Relationship (validated in the test suite): a causal history satisfies
+all four; FIFO-apply satisfies RYW+MR+MW but can violate WFR; scrambled
+apply can violate MR and MW as well.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import CheckerError
+from repro.checker.causal import causal_order
+from repro.checker.report import CheckResult, Violation
+from repro.memory.history import History
+from repro.memory.operations import Operation
+
+
+def _prepare(history: History):
+    """(ops, CO closure, index map, reads-from) or raises CheckerError."""
+    history.validate()
+    reads_from = history.reads_from()
+    operations, order = causal_order(history)
+    index = {op.op_id: position for position, op in enumerate(operations)}
+    return operations, order, index, reads_from
+
+
+def _source_misses(
+    order,
+    index,
+    required: Operation,
+    source: Optional[Operation],
+) -> bool:
+    """True if *source* (None = initial value) fails to reflect *required*:
+    it is neither the required write itself nor causally after it."""
+    if source is None:
+        return True
+    if source.op_id == required.op_id:
+        return False
+    return not order.has(index[required.op_id], index[source.op_id])
+
+
+def check_read_your_writes(history: History) -> CheckResult:
+    """A read by p of x must reflect p's own earlier writes to x."""
+    result = CheckResult(model="read-your-writes", ok=True, size=len(history))
+    if not history:
+        return result
+    try:
+        operations, order, index, reads_from = _prepare(history)
+    except CheckerError as exc:
+        result.ok = False
+        result.violations.append(
+            Violation(pattern="ThinAirRead", process=None, operations=(), detail=str(exc))
+        )
+        return result
+    for proc in history.processes():
+        own_last_write: dict[str, Operation] = {}
+        for op in history.of_process(proc):
+            if op.is_write:
+                own_last_write[op.var] = op
+            elif op.var in own_last_write:
+                required = own_last_write[op.var]
+                source = reads_from[op]
+                # A read may legitimately return a *concurrent* overwrite
+                # of the process's own write (a view can order it after);
+                # the violation is reading something causally *older* than
+                # the own write — or the initial value.
+                went_backwards = source is None or (
+                    source.op_id != required.op_id
+                    and order.has(index[source.op_id], index[required.op_id])
+                )
+                if went_backwards:
+                    result.ok = False
+                    result.violations.append(
+                        Violation(
+                            pattern="ReadYourWrites",
+                            process=proc,
+                            operations=(required, op),
+                            detail=f"{op} misses the process's own earlier {required}",
+                        )
+                    )
+    return result
+
+
+def check_monotonic_reads(history: History) -> CheckResult:
+    """Successive reads of x by one process never go backwards causally."""
+    result = CheckResult(model="monotonic-reads", ok=True, size=len(history))
+    if not history:
+        return result
+    try:
+        operations, order, index, reads_from = _prepare(history)
+    except CheckerError as exc:
+        result.ok = False
+        result.violations.append(
+            Violation(pattern="ThinAirRead", process=None, operations=(), detail=str(exc))
+        )
+        return result
+    for proc in history.processes():
+        last_source: dict[str, Operation] = {}
+        for op in history.of_process(proc):
+            if not op.is_read:
+                continue
+            source = reads_from[op]
+            previous = last_source.get(op.var)
+            if previous is not None:
+                if _source_misses(order, index, previous, source):
+                    # Going back is a violation only if the two sources
+                    # are causally ordered: regressing between concurrent
+                    # writes is permitted by MR (and by causal memory).
+                    went_backwards = source is None or order.has(
+                        index[source.op_id], index[previous.op_id]
+                    )
+                    if went_backwards:
+                        result.ok = False
+                        result.violations.append(
+                            Violation(
+                                pattern="MonotonicReads",
+                                process=proc,
+                                operations=(previous, op),
+                                detail=f"{op} reads causally before the earlier source {previous}",
+                            )
+                        )
+            if source is not None:
+                last_source[op.var] = source
+    return result
+
+
+def check_monotonic_writes(history: History) -> CheckResult:
+    """Writes to x by one process are seen by every reader in program order:
+    no read may return an earlier same-process write once a later one is
+    causally required by its source."""
+    result = CheckResult(model="monotonic-writes", ok=True, size=len(history))
+    if not history:
+        return result
+    try:
+        operations, order, index, reads_from = _prepare(history)
+    except CheckerError as exc:
+        result.ok = False
+        result.violations.append(
+            Violation(pattern="ThinAirRead", process=None, operations=(), detail=str(exc))
+        )
+        return result
+    # For each pair of same-process same-variable writes w1 <po w2, any
+    # reader that saw w2 must never subsequently read w1.
+    write_rank: dict[tuple[str, str], list[Operation]] = {}
+    for proc in history.processes():
+        for op in history.of_process(proc):
+            if op.is_write:
+                write_rank.setdefault((proc, op.var), []).append(op)
+    rank_of = {
+        writes[position].op_id: position
+        for writes in write_rank.values()
+        for position in range(len(writes))
+    }
+    for proc in history.processes():
+        best_seen: dict[tuple[str, str], int] = {}
+        for op in history.of_process(proc):
+            if not op.is_read:
+                continue
+            source = reads_from.get(op)
+            if source is None:
+                continue
+            key = (source.proc, source.var)
+            rank = rank_of[source.op_id]
+            previous_best = best_seen.get(key, -1)
+            if rank < previous_best:
+                result.ok = False
+                result.violations.append(
+                    Violation(
+                        pattern="MonotonicWrites",
+                        process=proc,
+                        operations=(source, op),
+                        detail=(
+                            f"{op} observes {source} after having observed a "
+                            f"program-order-later write of the same process"
+                        ),
+                    )
+                )
+            best_seen[key] = max(previous_best, rank)
+    return result
+
+
+def check_writes_follow_reads(history: History) -> CheckResult:
+    """If p reads v (written by w1) and then writes w2 to the same
+    variable, no process may observe w2 and subsequently w1."""
+    result = CheckResult(model="writes-follow-reads", ok=True, size=len(history))
+    if not history:
+        return result
+    try:
+        operations, order, index, reads_from = _prepare(history)
+    except CheckerError as exc:
+        result.ok = False
+        result.violations.append(
+            Violation(pattern="ThinAirRead", process=None, operations=(), detail=str(exc))
+        )
+        return result
+    # Pairs (w1, w2) with w1 ->CO w2 on the same variable: any observer
+    # reading w2 then w1 violates WFR.
+    writes = history.writes()
+    ordered_pairs = [
+        (first, second)
+        for first in writes
+        for second in writes
+        if first.var == second.var
+        and first.op_id != second.op_id
+        and order.has(index[first.op_id], index[second.op_id])
+    ]
+    for proc in history.processes():
+        seen_after: set[int] = set()
+        for op in history.of_process(proc):
+            if not op.is_read:
+                continue
+            source = reads_from.get(op)
+            if source is None:
+                continue
+            for first, second in ordered_pairs:
+                if source.op_id == first.op_id and second.op_id in seen_after:
+                    result.ok = False
+                    result.violations.append(
+                        Violation(
+                            pattern="WritesFollowReads",
+                            process=proc,
+                            operations=(first, second, op),
+                            detail=(
+                                f"{op} observes {first} after {second}, although "
+                                f"{first} causally precedes {second}"
+                            ),
+                        )
+                    )
+            seen_after.add(source.op_id)
+    return result
+
+
+def check_all_session_guarantees(history: History) -> dict[str, CheckResult]:
+    """Run all four checks; returns a model-name -> result mapping."""
+    return {
+        "read-your-writes": check_read_your_writes(history),
+        "monotonic-reads": check_monotonic_reads(history),
+        "monotonic-writes": check_monotonic_writes(history),
+        "writes-follow-reads": check_writes_follow_reads(history),
+    }
+
+
+__all__ = [
+    "check_read_your_writes",
+    "check_monotonic_reads",
+    "check_monotonic_writes",
+    "check_writes_follow_reads",
+    "check_all_session_guarantees",
+]

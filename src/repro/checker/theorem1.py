@@ -1,0 +1,154 @@
+"""Theorem 1's proof, executable (Definition 7 and Lemmas 7–9).
+
+The paper proves the interconnection causal *constructively*: for an
+application process ``i`` of system S^k, take any causal view beta^k_i of
+the per-system computation alpha^k_i and replace every write issued by
+the IS-process (a propagation) with the original write it propagates
+(Definition 7). The resulting sequence gamma^T_i is shown to be a causal
+view of the global alpha^T_i — it is a permutation (Lemma 7), preserves
+the global causal order (Lemma 8) and is legal (Lemma 9).
+
+This module performs that construction on recorded executions and checks
+the three lemma properties explicitly, so the proof's skeleton runs as
+code over every scenario in the test suite. It is deliberately redundant
+with :func:`repro.checker.check_causal` — the point is that the *paper's
+own argument*, not just its conclusion, holds on the implementation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import CheckerError
+from repro.checker.causal import causal_order
+from repro.checker.views import find_causal_view
+from repro.memory.history import History
+from repro.memory.operations import INITIAL_VALUE, Operation
+
+
+def original_write(full_history: History, propagation: Operation) -> Operation:
+    """The paper's ``orig(op)``: the application write that the IS-process
+    write *propagation* re-issues. Well-defined because values are written
+    at most once per variable by application processes."""
+    if not (propagation.is_write and propagation.is_interconnect):
+        raise CheckerError(f"{propagation} is not an IS-process write")
+    for op in full_history:
+        if (
+            op.is_write
+            and not op.is_interconnect
+            and op.var == propagation.var
+            and op.value == propagation.value
+        ):
+            return op
+    raise CheckerError(f"no original write found for propagation {propagation}")
+
+
+def construct_global_view(
+    full_history: History,
+    proc: str,
+    max_states: int = 500_000,
+) -> Optional[list[Operation]]:
+    """Definition 7: build gamma^T_proc from a causal view of alpha^k_proc.
+
+    *full_history* must be the complete recorded trace (IS operations
+    included). Returns None if alpha^k_proc has no causal view — which,
+    for a correct interconnection of causal systems, never happens.
+    """
+    proc_ops = [op for op in full_history if op.proc == proc]
+    if not proc_ops:
+        raise CheckerError(f"unknown process {proc!r}")
+    system = proc_ops[0].system
+    alpha_k = full_history.for_system(system)
+    beta = find_causal_view(alpha_k, proc, max_states=max_states)
+    if beta is None:
+        return None
+    gamma = []
+    for op in beta:
+        if op.is_write and op.is_interconnect:
+            gamma.append(original_write(full_history, op))
+        else:
+            gamma.append(op)
+    return gamma
+
+
+def _check_permutation(full_history: History, proc: str, view: list[Operation]) -> None:
+    """Lemma 7: gamma is a permutation of the operations of alpha^T_proc."""
+    alpha_t = full_history.without_interconnect()
+    expected = {
+        op.op_id for op in alpha_t if op.is_write or op.proc == proc
+    }
+    got = {op.op_id for op in view}
+    if expected != got:
+        missing = expected - got
+        extra = got - expected
+        raise CheckerError(
+            f"gamma is not a permutation of alpha^T_{proc}: "
+            f"missing={len(missing)}, extra={len(extra)}"
+        )
+
+
+def _check_legal(view: list[Operation]) -> None:
+    """Lemma 9: gamma is legal (Definition 1)."""
+    store: dict[str, object] = {}
+    for op in view:
+        if op.is_write:
+            store[op.var] = op.value
+        else:
+            held = store.get(op.var, INITIAL_VALUE)
+            if held != op.value:
+                raise CheckerError(
+                    f"gamma is illegal: {op} reads {op.value!r} but the "
+                    f"preceding write left {held!r}"
+                )
+
+
+def _check_preserves_causal_order(
+    full_history: History, view: list[Operation]
+) -> None:
+    """Lemma 8: gamma preserves the causal order of alpha^T."""
+    alpha_t = full_history.without_interconnect()
+    operations, order = causal_order(alpha_t)
+    index = {op.op_id: position for position, op in enumerate(operations)}
+    position_in_view = {op.op_id: position for position, op in enumerate(view)}
+    for a_position, a in enumerate(operations):
+        if a.op_id not in position_in_view:
+            continue
+        for b_position, b in enumerate(operations):
+            if b.op_id not in position_in_view:
+                continue
+            if order.has(a_position, b_position) and (
+                position_in_view[a.op_id] > position_in_view[b.op_id]
+            ):
+                raise CheckerError(
+                    f"gamma violates the global causal order: {a} ->> {b} "
+                    f"but gamma orders them the other way"
+                )
+
+
+def verify_theorem1_construction(
+    full_history: History,
+    proc: str,
+    max_states: int = 500_000,
+) -> list[Operation]:
+    """Run Definition 7 and check Lemmas 7–9; returns the verified view.
+
+    Raises :class:`CheckerError` with the failing lemma if the paper's
+    construction does not go through on this execution.
+    """
+    view = construct_global_view(full_history, proc, max_states=max_states)
+    if view is None:
+        raise CheckerError(
+            f"alpha^k has no causal view for {proc!r}: the subsystem itself "
+            "is not causal, so Theorem 1's hypothesis fails"
+        )
+    _check_permutation(full_history, proc, view)
+    _check_legal(view)
+    _check_preserves_causal_order(full_history, view)
+    return view
+
+
+__all__ = [
+    "original_write",
+    "construct_global_view",
+    "verify_theorem1_construction",
+]

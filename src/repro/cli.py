@@ -1,0 +1,300 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``protocols`` — list the registered MCS protocols and their metadata.
+* ``run`` — build systems, interconnect, run a random workload, check
+  consistency, optionally save the trace and print a diagram.
+* ``check`` — re-check a saved trace against any consistency model.
+* ``prove`` — run Theorem 1's proof construction (Definition 7 +
+  Lemmas 7-9) on a saved trace, per process.
+* ``lattice`` — exhaustively verify the consistency lattice on a small
+  universe of histories.
+* ``experiments`` — regenerate the full EXPERIMENTS.md report.
+* ``demo`` — a 30-second tour: Theorem 1, the §3 ablation, Lemma 1.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro import trace as trace_mod
+from repro.checker import (
+    check_all_session_guarantees,
+    check_cache,
+    check_causal,
+    check_causal_by_views,
+    check_causal_convergence,
+    check_pram,
+    check_sequential,
+)
+from repro.protocols import available, get
+from repro.viz import render_report
+from repro.workloads import WorkloadSpec, build_interconnected
+from repro.workloads.scenarios import run_until_quiescent
+
+CHECKERS = {
+    "causal": check_causal,
+    "causal-views": check_causal_by_views,
+    "causal-convergence": check_causal_convergence,
+    "sequential": check_sequential,
+    "pram": check_pram,
+    "cache": check_cache,
+}
+
+
+def _command_protocols(args: argparse.Namespace) -> int:
+    print(f"{'name':<26} {'consistency':<12} {'causal updating':<16}")
+    print("-" * 56)
+    for name in available():
+        spec = get(name)
+        print(
+            f"{spec.name:<26} {spec.consistency:<12} "
+            f"{'yes' if spec.causal_updating else 'NO':<16}"
+        )
+    return 0
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    protocols = args.protocols.split(",")
+    for name in protocols:
+        get(name)  # fail fast on typos
+    spec = WorkloadSpec(
+        processes=args.processes,
+        ops_per_process=args.ops,
+        write_ratio=args.write_ratio,
+    )
+    result = build_interconnected(
+        protocols,
+        spec,
+        topology=args.topology,
+        shared=not args.per_edge,
+        seed=args.seed,
+    )
+    run_until_quiescent(result.sim, result.systems)
+    history = result.global_history
+    print(
+        f"ran {len(protocols)} system(s), {len(result.history)} operations "
+        f"({len(history)} application-level), finished at t={result.sim.now:.1f}"
+    )
+    if result.interconnection and result.interconnection.bridges:
+        print(f"inter-system pairs: {result.interconnection.inter_system_messages}")
+
+    exit_code = 0
+    for model in args.check.split(","):
+        checker = CHECKERS.get(model)
+        if checker is None:
+            print(f"unknown model {model!r}; known: {', '.join(sorted(CHECKERS))}")
+            return 2
+        verdict = checker(history)
+        print(verdict.summary())
+        if not verdict.ok:
+            exit_code = 1
+    if args.trace:
+        trace_mod.dump_history(result.recorder.history(), args.trace)
+        print(f"trace written to {args.trace}")
+    if args.diagram:
+        print()
+        print(render_report(history))
+    return exit_code
+
+
+def _command_check(args: argparse.Namespace) -> int:
+    full = trace_mod.load_history(args.trace)
+    print(f"loaded {len(full)} operations from {args.trace}")
+    exit_code = 0
+    if args.model == "sessions":
+        for name, verdict in check_all_session_guarantees(full.without_interconnect()).items():
+            print(verdict.summary())
+            if not verdict.ok:
+                exit_code = 1
+        return exit_code
+    checker = CHECKERS.get(args.model)
+    if checker is None:
+        print(f"unknown model {args.model!r}")
+        return 2
+    if args.include_interconnect:
+        # The full trace writes each propagated value twice (original plus
+        # IS-process propagation), so IS operations are only meaningful in
+        # the paper's per-system computations alpha^k — check each one.
+        for system in sorted({op.system for op in full}):
+            verdict = checker(full.for_system(system))
+            print(f"{system}: {verdict.summary()}")
+            if not verdict.ok:
+                exit_code = 1
+        return exit_code
+    history = full.without_interconnect()
+    verdict = checker(history)
+    print(verdict.summary())
+    if args.diagram:
+        print()
+        print(render_report(history))
+    return 0 if verdict.ok else 1
+
+
+def _command_prove(args: argparse.Namespace) -> int:
+    from repro.checker.theorem1 import verify_theorem1_construction
+    from repro.errors import CheckerError
+
+    full = trace_mod.load_history(args.trace)
+    if args.proc:
+        procs = [args.proc]
+    else:
+        procs = sorted(
+            {op.proc for op in full if not op.is_interconnect}
+        )
+    exit_code = 0
+    for proc in procs:
+        try:
+            view = verify_theorem1_construction(full, proc)
+        except CheckerError as exc:
+            print(f"{proc}: FAILED — {exc}")
+            exit_code = 1
+            continue
+        print(
+            f"{proc}: gamma^T built from beta^k ({len(view)} operations) — "
+            "permutation, legality and causal-order preservation verified"
+        )
+    return exit_code
+
+
+def _command_lattice(args: argparse.Namespace) -> int:
+    from repro.lattice import run_census
+
+    variables = tuple(args.variables.split(","))
+    census = run_census(args.max_ops, variables=variables)
+    print(
+        f"enumerated {census.total} well-formed histories "
+        f"(<= {args.max_ops} ops, 2 processes, variables {variables})"
+    )
+    for label in sorted(census.counts):
+        print(f"  {label:<32} {census.counts[label]}")
+    if census.broken_laws:
+        print(f"\nBROKEN LAWS ({len(census.broken_laws)}):")
+        for law in census.broken_laws[:5]:
+            print(law)
+        return 1
+    print("all universal laws hold (inclusions, checker agreement, sessions)")
+    return 0
+
+
+def _command_experiments(args: argparse.Namespace) -> int:
+    from repro.reporting import generate_report  # heavy import, keep lazy
+
+    report = generate_report(
+        progress=lambda title: print(f"running {title} ...", file=sys.stderr, flush=True)
+    )
+    if args.output == "-":
+        print(report)
+    else:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(report)
+        print(f"wrote {args.output}")
+    return 0
+
+
+def _command_demo(args: argparse.Namespace) -> int:
+    from repro.experiments import lemma1_violation_rate, section3_violation_rate
+
+    print("1. Theorem 1: two causal systems, bridged, random workload")
+    result = build_interconnected(
+        ["vector-causal", "parametrized-causal"],
+        WorkloadSpec(processes=3, ops_per_process=6),
+        seed=args.seed,
+    )
+    run_until_quiescent(result.sim, result.systems)
+    verdict = check_causal(result.global_history)
+    print(f"   {verdict.summary()}")
+
+    print("2. §3 ablation: violation rate without the IS read step")
+    print(f"   with read: {section3_violation_rate(True, range(5)):.0%}   "
+          f"without: {section3_violation_rate(False, range(5)):.0%}")
+
+    print("3. Lemma 1: IS-protocol 1 vs 2 on a non-causal-updating protocol")
+    print(f"   protocol 1: {lemma1_violation_rate(False, range(10)):.0%} violations   "
+          f"protocol 2: {lemma1_violation_rate(True, range(10)):.0%}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'On the interconnection of causal memory systems'",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("protocols", help="list registered MCS protocols")
+
+    run_parser = commands.add_parser("run", help="run an interconnected workload")
+    run_parser.add_argument(
+        "--protocols",
+        default="vector-causal,vector-causal",
+        help="comma-separated protocol names, one per system",
+    )
+    run_parser.add_argument("--topology", choices=("star", "chain"), default="star")
+    run_parser.add_argument("--per-edge", action="store_true", help="per-edge IS-processes")
+    run_parser.add_argument("--processes", type=int, default=3)
+    run_parser.add_argument("--ops", type=int, default=6)
+    run_parser.add_argument("--write-ratio", type=float, default=0.5)
+    run_parser.add_argument("--seed", type=int, default=0)
+    run_parser.add_argument(
+        "--check", default="causal", help="comma-separated models to check"
+    )
+    run_parser.add_argument("--trace", help="write the full trace to this JSON file")
+    run_parser.add_argument("--diagram", action="store_true", help="print a space-time diagram")
+
+    check_parser = commands.add_parser("check", help="check a saved trace")
+    check_parser.add_argument("trace", help="path to a trace JSON file")
+    check_parser.add_argument(
+        "--model",
+        default="causal",
+        choices=(*sorted(CHECKERS), "sessions"),
+    )
+    check_parser.add_argument(
+        "--include-interconnect",
+        action="store_true",
+        help="keep IS-process operations (check alpha^k rather than alpha^T)",
+    )
+    check_parser.add_argument("--diagram", action="store_true")
+
+    prove_parser = commands.add_parser(
+        "prove", help="run Theorem 1's proof construction on a saved trace"
+    )
+    prove_parser.add_argument("trace", help="path to a trace JSON file (IS ops included)")
+    prove_parser.add_argument("--proc", help="only this application process")
+
+    lattice_parser = commands.add_parser(
+        "lattice", help="exhaustively verify the consistency lattice"
+    )
+    lattice_parser.add_argument("--max-ops", type=int, default=4)
+    lattice_parser.add_argument("--variables", default="x")
+
+    experiments_parser = commands.add_parser(
+        "experiments", help="regenerate the EXPERIMENTS.md report"
+    )
+    experiments_parser.add_argument("--output", default="EXPERIMENTS.md")
+
+    demo_parser = commands.add_parser("demo", help="a quick tour of the reproduction")
+    demo_parser.add_argument("--seed", type=int, default=0)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "protocols": _command_protocols,
+        "run": _command_run,
+        "check": _command_check,
+        "prove": _command_prove,
+        "lattice": _command_lattice,
+        "experiments": _command_experiments,
+        "demo": _command_demo,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

@@ -1,0 +1,23 @@
+"""The paper's contribution: interconnection of causal DSM systems."""
+
+from repro.interconnect.bridge import Bridge, connect
+from repro.interconnect.is_process import ISProcess, PropagatedPair
+from repro.interconnect.topology import (
+    Interconnection,
+    chain_edges,
+    interconnect,
+    star_edges,
+    validate_tree,
+)
+
+__all__ = [
+    "ISProcess",
+    "PropagatedPair",
+    "Bridge",
+    "connect",
+    "Interconnection",
+    "interconnect",
+    "star_edges",
+    "chain_edges",
+    "validate_tree",
+]

@@ -1,0 +1,196 @@
+"""Exhaustive verification of the consistency lattice on small universes.
+
+The checkers claim a web of relationships: sequential implies causal
+implies PRAM, sequential implies cache and causal convergence, causal
+implies every session guarantee, and the two causal checkers agree. The
+property suite samples these; this module *enumerates every history* up
+to a size bound and verifies the relationships universally — a bounded
+model check of the definitions themselves, independent of any protocol.
+
+Enumeration: all operation sequences of length <= ``max_ops`` over the
+given processes and variables, with writes taking canonical fresh values
+(1, 2, 3, ... in order of appearance — value names don't matter, so this
+loses no generality) and reads taking any written value or the initial
+value. Reads may even "read from the future" of the observation order:
+the checkers must classify such histories too (they typically land in
+CyclicCO or thin-air regions).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Sequence
+
+from repro.checker import (
+    check_causal,
+    check_causal_by_views,
+    check_causal_convergence,
+    check_pram,
+    check_sequential,
+)
+from repro.checker.cache import check_cache
+from repro.checker.sessions import check_all_session_guarantees
+from repro.memory.history import History
+from repro.memory.operations import INITIAL_VALUE, Operation, OpKind
+
+
+def enumerate_histories(
+    max_ops: int,
+    procs: Sequence[str] = ("A", "B"),
+    variables: Sequence[str] = ("x",),
+    min_ops: int = 1,
+) -> Iterator[History]:
+    """Yield every history with ``min_ops..max_ops`` operations."""
+    for length in range(min_ops, max_ops + 1):
+        # Choose which positions are writes (values = 1, 2, ... in order).
+        for write_mask in itertools.product((True, False), repeat=length):
+            write_count = sum(write_mask)
+            read_positions = [pos for pos, is_write in enumerate(write_mask) if not is_write]
+            value_choices = [INITIAL_VALUE] + list(range(1, write_count + 1))
+            for proc_assignment in itertools.product(procs, repeat=length):
+                for var_assignment in itertools.product(variables, repeat=length):
+                    for read_values in itertools.product(
+                        value_choices, repeat=len(read_positions)
+                    ):
+                        yield _build(
+                            write_mask,
+                            proc_assignment,
+                            var_assignment,
+                            dict(zip(read_positions, read_values)),
+                        )
+
+
+def _build(write_mask, proc_assignment, var_assignment, read_values) -> History:
+    operations = []
+    seqs: dict[str, int] = {}
+    next_value = 1
+    for position, is_write in enumerate(write_mask):
+        proc = proc_assignment[position]
+        seq = seqs.get(proc, 0)
+        seqs[proc] = seq + 1
+        if is_write:
+            value = next_value
+            next_value += 1
+            kind = OpKind.WRITE
+        else:
+            value = read_values[position]
+            kind = OpKind.READ
+        operations.append(
+            Operation(
+                op_id=position,
+                kind=kind,
+                proc=proc,
+                var=var_assignment[position],
+                value=value,
+                seq=seq,
+                system="S",
+                issue_time=float(position),
+                response_time=float(position),
+            )
+        )
+    return History(operations)
+
+
+def _well_formed(history: History) -> bool:
+    """Reads must name a value actually written to *their* variable (or
+    the initial value); otherwise every model trivially rejects via
+    thin-air and the comparison is uninteresting."""
+    written = {(op.var, op.value) for op in history if op.is_write}
+    for op in history:
+        if op.is_read and op.value is not INITIAL_VALUE:
+            if (op.var, op.value) not in written:
+                return False
+    return True
+
+
+@dataclass
+class LatticeCensus:
+    """Counts of histories in each region of the consistency lattice."""
+
+    total: int = 0
+    counts: dict[str, int] = field(default_factory=dict)
+    #: Universal relationships violated during the census (must stay empty).
+    broken_laws: list[str] = field(default_factory=list)
+
+    def bump(self, label: str) -> None:
+        self.counts[label] = self.counts.get(label, 0) + 1
+
+
+MODELS: dict[str, Callable[[History], object]] = {
+    "sequential": check_sequential,
+    "causal": check_causal,
+    "ccv": check_causal_convergence,
+    "pram": check_pram,
+    "cache": check_cache,
+}
+
+#: Universal inclusions: (stronger, weaker) — membership in the stronger
+#: model must imply membership in the weaker one, on every history.
+INCLUSIONS = [
+    ("sequential", "causal"),
+    ("sequential", "ccv"),
+    ("sequential", "cache"),
+    ("sequential", "pram"),
+    ("causal", "pram"),
+]
+
+
+def classify(history: History) -> dict[str, bool]:
+    """Membership of *history* in every model (plus session guarantees)."""
+    verdicts = {name: bool(checker(history).ok) for name, checker in MODELS.items()}
+    sessions = check_all_session_guarantees(history)
+    for name, result in sessions.items():
+        verdicts[f"session:{name}"] = bool(result.ok)
+    return verdicts
+
+
+def run_census(
+    max_ops: int,
+    procs: Sequence[str] = ("A", "B"),
+    variables: Sequence[str] = ("x",),
+    check_view_agreement: bool = True,
+) -> LatticeCensus:
+    """Enumerate, classify, and verify every universal law. Any law broken
+    is recorded in ``broken_laws`` (and the census keeps going, so a
+    failure report shows all of them)."""
+    census = LatticeCensus()
+    for history in enumerate_histories(max_ops, procs=procs, variables=variables):
+        if not _well_formed(history):
+            continue
+        census.total += 1
+        verdicts = classify(history)
+        for name, ok in verdicts.items():
+            if ok:
+                census.bump(name)
+        for stronger, weaker in INCLUSIONS:
+            if verdicts[stronger] and not verdicts[weaker]:
+                census.broken_laws.append(
+                    f"{stronger} ⊆ {weaker} broken by:\n{history.pretty()}"
+                )
+        if verdicts["causal"]:
+            for name, ok in verdicts.items():
+                if name.startswith("session:") and not ok:
+                    census.broken_laws.append(
+                        f"causal ⊆ {name} broken by:\n{history.pretty()}"
+                    )
+        if check_view_agreement:
+            by_views = bool(check_causal_by_views(history).ok)
+            if by_views != verdicts["causal"]:
+                census.broken_laws.append(
+                    f"checker disagreement (fast={verdicts['causal']}, "
+                    f"views={by_views}):\n{history.pretty()}"
+                )
+        # Region bookkeeping for the interesting separations.
+        if verdicts["causal"] and not verdicts["ccv"]:
+            census.bump("causal-not-ccv")
+        if verdicts["ccv"] and not verdicts["causal"]:
+            census.bump("ccv-not-causal")
+        if verdicts["causal"] and not verdicts["sequential"]:
+            census.bump("causal-not-sequential")
+        if verdicts["pram"] and not verdicts["causal"]:
+            census.bump("pram-not-causal")
+    return census
+
+
+__all__ = ["enumerate_histories", "classify", "run_census", "LatticeCensus", "INCLUSIONS"]

@@ -1,0 +1,23 @@
+"""DSM framework: operations, histories, the MCS architecture, systems."""
+
+from repro.memory.history import History
+from repro.memory.interface import AppProcess, MCSProcess, UpcallHandler
+from repro.memory.operations import INITIAL_VALUE, Operation, OpKind
+from repro.memory.program import Read, Sleep, Write
+from repro.memory.recorder import HistoryRecorder
+from repro.memory.system import DSMSystem
+
+__all__ = [
+    "Operation",
+    "OpKind",
+    "INITIAL_VALUE",
+    "History",
+    "HistoryRecorder",
+    "MCSProcess",
+    "AppProcess",
+    "UpcallHandler",
+    "DSMSystem",
+    "Read",
+    "Write",
+    "Sleep",
+]

@@ -1,0 +1,150 @@
+"""Histories (computations) and their projections.
+
+The checker layer consumes :class:`History` objects. A history is an
+ordered collection of completed operations; the order of the underlying
+list is the observation (completion) order, but all consistency
+definitions in the paper depend only on per-process program order and
+reads-from relationships, both of which are derived here.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any, Callable, Iterable, Iterator, Optional
+
+from repro.errors import CheckerError
+from repro.memory.operations import INITIAL_VALUE, Operation
+
+
+class History:
+    """An immutable computation: a sequence of completed operations."""
+
+    def __init__(self, operations: Iterable[Operation]) -> None:
+        self._ops: tuple[Operation, ...] = tuple(operations)
+        self._by_proc: dict[str, list[Operation]] = defaultdict(list)
+        for op in self._ops:
+            self._by_proc[op.proc].append(op)
+        for ops in self._by_proc.values():
+            ops.sort(key=lambda op: op.seq)
+
+    def __iter__(self) -> Iterator[Operation]:
+        return iter(self._ops)
+
+    def __len__(self) -> int:
+        return len(self._ops)
+
+    def __bool__(self) -> bool:
+        return bool(self._ops)
+
+    @property
+    def operations(self) -> tuple[Operation, ...]:
+        return self._ops
+
+    def processes(self) -> list[str]:
+        """Process names, sorted for determinism."""
+        return sorted(self._by_proc)
+
+    def of_process(self, proc: str) -> list[Operation]:
+        """Operations of *proc* in program order."""
+        return list(self._by_proc.get(proc, ()))
+
+    def writes(self) -> list[Operation]:
+        return [op for op in self._ops if op.is_write]
+
+    def reads(self) -> list[Operation]:
+        return [op for op in self._ops if op.is_read]
+
+    def writes_on(self, var: str) -> list[Operation]:
+        return [op for op in self._ops if op.is_write and op.var == var]
+
+    def variables(self) -> list[str]:
+        return sorted({op.var for op in self._ops})
+
+    def filter(self, predicate: Callable[[Operation], bool]) -> "History":
+        return History(op for op in self._ops if predicate(op))
+
+    def projection(self, proc: str) -> "History":
+        """The paper's alpha_i: all writes plus the reads of *proc*."""
+        return self.filter(lambda op: op.is_write or op.proc == proc)
+
+    def without_interconnect(self) -> "History":
+        """The global computation alpha^T: IS-process operations removed."""
+        return self.filter(lambda op: not op.is_interconnect)
+
+    def for_system(self, system: str) -> "History":
+        """The per-system computation alpha^k."""
+        return self.filter(lambda op: op.system == system)
+
+    def write_of_value(self, var: str, value: Any) -> Optional[Operation]:
+        """The unique write of *value* to *var*, or None for the initial
+        value / an unwritten value."""
+        if value is INITIAL_VALUE:
+            return None
+        for op in self._ops:
+            if op.is_write and op.var == var and op.value == value:
+                return op
+        return None
+
+    def reads_from(self) -> dict[Operation, Optional[Operation]]:
+        """Map each read to the write it reads from (None = initial value).
+
+        Raises :class:`CheckerError` for a read of a value never written
+        to its variable (a "thin-air" read — always a violation, but it
+        indicates a malformed history rather than an interesting one).
+        """
+        writes: dict[tuple[str, Any], Operation] = {}
+        for op in self._ops:
+            if op.is_write:
+                writes[(op.var, op.value)] = op
+        result: dict[Operation, Optional[Operation]] = {}
+        for op in self._ops:
+            if not op.is_read:
+                continue
+            if op.reads_initial:
+                result[op] = None
+                continue
+            source = writes.get((op.var, op.value))
+            if source is None:
+                raise CheckerError(f"thin-air read: {op} reads a value never written")
+            result[op] = source
+        return result
+
+    def validate(self) -> None:
+        """Check the paper's §2 assumptions:
+
+        * every written value is non-initial and written at most once per
+          variable,
+        * per-process sequence numbers are strictly increasing,
+        * operation ids are unique.
+        """
+        seen_ids: set[int] = set()
+        seen_values: set[tuple[str, Any]] = set()
+        for op in self._ops:
+            if op.op_id in seen_ids:
+                raise CheckerError(f"duplicate op_id {op.op_id}")
+            seen_ids.add(op.op_id)
+            if op.is_write:
+                if op.value is INITIAL_VALUE:
+                    raise CheckerError(f"{op} writes the reserved initial value")
+                key = (op.var, op.value)
+                if key in seen_values:
+                    raise CheckerError(f"value {op.value!r} written twice to {op.var!r}")
+                seen_values.add(key)
+        for proc, ops in self._by_proc.items():
+            for first, second in zip(ops, ops[1:]):
+                if first.seq >= second.seq:
+                    raise CheckerError(f"non-increasing seq for process {proc!r}")
+
+    def __repr__(self) -> str:
+        return f"History({len(self._ops)} ops, {len(self._by_proc)} procs)"
+
+    def pretty(self) -> str:
+        """Multi-line rendering, one process per line, program order."""
+        lines = []
+        for proc in self.processes():
+            ops = " ".join(str(op) for op in self.of_process(proc))
+            lines.append(f"{proc}: {ops}")
+        return "\n".join(lines)
+
+
+__all__ = ["History"]

@@ -1,0 +1,262 @@
+"""The Attiya–Welch MCS architecture (§2 of the paper).
+
+The DSM is implemented by a *memory consistency system* (MCS) of
+cooperating MCS-processes. Each application process is attached to one
+MCS-process and interacts with it through blocking read/write *calls*;
+the MCS-process eventually *responds*, which completes the operation.
+
+For the interconnection the paper extends the IS-process <-> MCS-process
+interface with two blocking upcalls, delivered around updates of the
+MCS-process's local replicas that were *not* caused by the IS-process's
+own writes:
+
+* ``pre_update(x)`` — immediately before the replica of ``x`` changes
+  (optional; IS-protocol 1 disables it),
+* ``post_update(x, v)`` — immediately after.
+
+While an upcall is being processed the MCS-process is blocked, and reads
+issued by the IS-process during the upcall must complete and return the
+pre-/post-update value respectively (conditions (a)–(c) in §2). In this
+simulation upcalls are synchronous calls and protocol reads are served
+locally, so the conditions hold by construction; protocols whose replica
+updates are asynchronous (e.g. :mod:`repro.protocols.delayed`) must take
+explicit care, as discussed in that module.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional, TYPE_CHECKING
+
+from repro.errors import ProtocolError, SimulationError
+from repro.memory.operations import OpKind
+from repro.memory.program import Program, Read, Sleep, Write
+from repro.sim.core import Simulator
+from repro.sim.network import Network
+from repro.sim.process import SimProcess
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.memory.recorder import HistoryRecorder
+
+
+class UpcallHandler:
+    """Interface an IS-process implements to receive replica-update upcalls."""
+
+    #: Whether the MCS-process should deliver ``pre_update`` upcalls.
+    wants_pre_update: bool = False
+
+    def pre_update(self, var: str) -> None:
+        """Called immediately before the local replica of *var* changes."""
+
+    def post_update(self, var: str, value: Any) -> None:
+        """Called immediately after the local replica of *var* changed."""
+
+
+class MCSProcess(SimProcess):
+    """Base class for MCS-processes; protocol behaviour lives in subclasses.
+
+    Subclasses implement :meth:`_handle_write`, :meth:`_handle_read`, and
+    :meth:`_on_message`, and call :meth:`_apply_with_upcalls` whenever they
+    update a local replica so the IS upcall contract is honoured.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        network: Network,
+        proc_index: int,
+        system_name: str,
+        segment: str = "default",
+    ) -> None:
+        super().__init__(sim, name)
+        self.network = network
+        self.proc_index = proc_index
+        self.system_name = system_name
+        self.segment = segment
+        self.upcall_handler: Optional[UpcallHandler] = None
+        #: Optional hook invoked as ``listener(mcs, var, value)`` after every
+        #: replica update (own writes included); used by latency metrics.
+        self.update_listener: Optional[Callable[["MCSProcess", str, Any], None]] = None
+        network.add_node(name, self._on_message, segment=segment)
+
+    # -- application-facing call interface --------------------------------
+
+    def issue_write(
+        self, var: str, value: Any, done: Callable[[], None], strong: bool = False
+    ) -> None:
+        """Write call; *done* fires when the MCS-process responds.
+
+        *strong* requests per-operation strong ordering; the base
+        implementation ignores it (most protocols have one write class) —
+        protocols supporting operation strength override this method.
+        """
+        self._handle_write(var, value, done)
+
+    def issue_read(self, var: str, done: Callable[[Any], None]) -> None:
+        """Read call; *done* receives the value in the response."""
+        self._handle_read(var, done)
+
+    # -- IS-process attachment --------------------------------------------
+
+    def attach_upcall_handler(self, handler: UpcallHandler) -> None:
+        """Attach the IS-process that should receive replica-update upcalls."""
+        if self.upcall_handler is not None:
+            raise ProtocolError(f"{self.name} already has an upcall handler")
+        self.upcall_handler = handler
+
+    @property
+    def has_interconnect(self) -> bool:
+        return self.upcall_handler is not None
+
+    def _apply_with_upcalls(
+        self,
+        var: str,
+        value: Any,
+        apply: Callable[[], None],
+        own_write: bool,
+    ) -> None:
+        """Apply a replica update, delivering upcalls around it.
+
+        *own_write* marks updates caused by a write issued by this
+        MCS-process's attached application process; per §2 these generate
+        no upcalls (otherwise propagated writes would bounce back).
+        """
+        handler = self.upcall_handler
+        if handler is not None and not own_write:
+            if handler.wants_pre_update:
+                handler.pre_update(var)
+            apply()
+            if self.update_listener is not None:
+                self.update_listener(self, var, value)
+            handler.post_update(var, value)
+        else:
+            apply()
+            if self.update_listener is not None:
+                self.update_listener(self, var, value)
+
+    # -- subclass responsibilities ----------------------------------------
+
+    def _handle_write(self, var: str, value: Any, done: Callable[[], None]) -> None:
+        raise NotImplementedError
+
+    def _handle_read(self, var: str, done: Callable[[Any], None]) -> None:
+        raise NotImplementedError
+
+    def _on_message(self, src: str, payload: Any) -> None:
+        raise NotImplementedError
+
+    def local_value(self, var: str) -> Any:
+        """Current value of the local replica of *var* (diagnostics)."""
+        raise NotImplementedError
+
+
+class AppProcess(SimProcess):
+    """Drives a program against an MCS-process and records the operations.
+
+    The process issues one call at a time — it blocks until the response
+    arrives (the paper's call/response discipline) — and then waits
+    *think_time* before the next command.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        mcs: MCSProcess,
+        program: Program,
+        recorder: "HistoryRecorder",
+        think_time: float | Callable[[], float] = 0.0,
+        is_interconnect: bool = False,
+    ) -> None:
+        super().__init__(sim, name)
+        self.mcs = mcs
+        self.recorder = recorder
+        self.is_interconnect = is_interconnect
+        self._think_time = think_time
+        self._program = self._as_generator(program)
+        self._blocked = False
+        self.done = False
+        self.ops_completed = 0
+        self.response_times: list[float] = []
+
+    @staticmethod
+    def _as_generator(program: Program):
+        if hasattr(program, "send"):
+            return program
+        plain = iter(program)
+
+        def wrap():
+            feedback = None
+            for command in plain:
+                feedback = yield command
+                del feedback  # plain programs ignore read results
+
+        return wrap()
+
+    def start(self, delay: float = 0.0) -> None:
+        """Begin executing the program *delay* time units from now."""
+        self.after(delay, lambda: self._advance(None, first=True))
+
+    @property
+    def blocked(self) -> bool:
+        """True while a call is outstanding (deadlock diagnostics)."""
+        return self._blocked
+
+    def _next_think_time(self) -> float:
+        if callable(self._think_time):
+            return self._think_time()
+        return self._think_time
+
+    def _advance(self, feedback: Any, first: bool = False) -> None:
+        try:
+            command = next(self._program) if first else self._program.send(feedback)
+        except StopIteration:
+            self.done = True
+            return
+        self._execute(command)
+
+    def _execute(self, command: Any) -> None:
+        if isinstance(command, Sleep):
+            self.after(command.duration, lambda: self._advance(None))
+        elif isinstance(command, Write):
+            self._blocked = True
+            issue_time = self.now
+
+            def on_write_done() -> None:
+                self._blocked = False
+                self._record(OpKind.WRITE, command.var, command.value, issue_time)
+                self.after(self._next_think_time(), lambda: self._advance(None))
+
+            self.mcs.issue_write(
+                command.var, command.value, on_write_done,
+                strong=getattr(command, "strong", False),
+            )
+        elif isinstance(command, Read):
+            self._blocked = True
+            issue_time = self.now
+
+            def on_read_done(value: Any) -> None:
+                self._blocked = False
+                self._record(OpKind.READ, command.var, value, issue_time)
+                self.after(self._next_think_time(), lambda: self._advance(value))
+
+            self.mcs.issue_read(command.var, on_read_done)
+        else:
+            raise SimulationError(f"unknown program command {command!r}")
+
+    def _record(self, kind: OpKind, var: str, value: Any, issue_time: float) -> None:
+        self.ops_completed += 1
+        self.response_times.append(self.now - issue_time)
+        self.recorder.record(
+            kind=kind,
+            proc=self.name,
+            var=var,
+            value=value,
+            system=self.mcs.system_name,
+            issue_time=issue_time,
+            response_time=self.now,
+            is_interconnect=self.is_interconnect,
+        )
+
+
+__all__ = ["MCSProcess", "AppProcess", "UpcallHandler"]

@@ -1,0 +1,59 @@
+"""Application-process programs.
+
+A *program* is what an application process executes: a sequence of
+commands. Programs may be plain iterables of commands, or generators —
+generator programs receive each read's result via ``send`` and can adapt::
+
+    def reader_then_writer():
+        value = yield Read("x")
+        yield Write("y", f"saw-{value}")
+
+Commands:
+
+* :class:`Write` — write a value to a variable,
+* :class:`Read` — read a variable,
+* :class:`Sleep` — advance local time without touching the memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Generator, Iterable, Union
+
+
+@dataclass(frozen=True)
+class Write:
+    """Issue a write of *value* to *var*.
+
+    ``strong=True`` requests per-operation strong ordering from protocols
+    that support it (the hybrid protocol totally orders strong writes);
+    other protocols ignore the flag.
+    """
+
+    var: str
+    value: Any
+    strong: bool = False
+
+
+@dataclass(frozen=True)
+class Read:
+    """Issue a read of *var*; generator programs receive the value."""
+
+    var: str
+
+
+@dataclass(frozen=True)
+class Sleep:
+    """Pause the process for *duration* virtual time units."""
+
+    duration: float
+
+    def __post_init__(self) -> None:
+        if self.duration < 0:
+            raise ValueError(f"negative sleep duration {self.duration}")
+
+
+Command = Union[Write, Read, Sleep]
+Program = Union[Iterable[Command], Generator[Command, Any, None]]
+
+__all__ = ["Write", "Read", "Sleep", "Command", "Program"]

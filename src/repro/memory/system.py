@@ -1,0 +1,111 @@
+"""Construction of one DSM system: MCS-processes + application processes.
+
+A :class:`DSMSystem` bundles a network, a protocol spec, and the processes
+of one system S^q. Interconnection (package :mod:`repro.interconnect`)
+attaches IS-processes to extra MCS-processes created here via
+:meth:`DSMSystem.new_mcs`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.errors import ConfigurationError, DeadlockError
+from repro.memory.interface import AppProcess, MCSProcess
+from repro.memory.program import Program
+from repro.memory.recorder import HistoryRecorder
+from repro.protocols.base import ProtocolSpec
+from repro.sim.channel import DelayModel
+from repro.sim.core import Simulator
+from repro.sim.network import Network
+
+
+class DSMSystem:
+    """One propagation-based DSM system."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        protocol: ProtocolSpec,
+        recorder: Optional[HistoryRecorder] = None,
+        network: Optional[Network] = None,
+        seed: int = 0,
+        default_delay: DelayModel | float = 1.0,
+    ) -> None:
+        self.sim = sim
+        self.name = name
+        self.protocol = protocol
+        self.recorder = recorder or HistoryRecorder()
+        self.network = network or Network(sim, default_delay=default_delay, seed=seed, name=name)
+        self.seed = seed
+        self.mcs_processes: list[MCSProcess] = []
+        self.app_processes: list[AppProcess] = []
+        self._next_index = 0
+
+    def new_mcs(self, owner_name: str, segment: str = "default") -> MCSProcess:
+        """Create one MCS-process for the application process *owner_name*."""
+        index = self._next_index
+        self._next_index += 1
+        mcs = self.protocol.build(
+            sim=self.sim,
+            name=f"{self.name}/mcs:{owner_name}",
+            network=self.network,
+            proc_index=index,
+            system_name=self.name,
+            segment=segment,
+        )
+        self.mcs_processes.append(mcs)
+        return mcs
+
+    def add_application(
+        self,
+        name: str,
+        program: Program,
+        think_time: float | Callable[[], float] = 0.0,
+        segment: str = "default",
+        start_delay: float = 0.0,
+    ) -> AppProcess:
+        """Add an application process running *program*.
+
+        The process gets its own MCS-process (the paper's one-to-one
+        attachment) and starts *start_delay* time units into the run.
+        """
+        if any(app.name == name for app in self.app_processes):
+            raise ConfigurationError(f"duplicate application name {name!r} in {self.name!r}")
+        mcs = self.new_mcs(name, segment=segment)
+        app = AppProcess(
+            sim=self.sim,
+            name=name,
+            mcs=mcs,
+            program=program,
+            recorder=self.recorder,
+            think_time=think_time,
+        )
+        self.app_processes.append(app)
+        app.start(start_delay)
+        return app
+
+    @property
+    def mcs_count(self) -> int:
+        """Number of MCS-processes, IS ones included (the paper's x)."""
+        return len(self.mcs_processes)
+
+    def check_quiescent(self) -> None:
+        """Raise :class:`DeadlockError` if any application is still blocked.
+
+        Call after the simulator drains to ensure every program ran to
+        completion (condition (b) of §2: operations must finish).
+        """
+        stuck = [app.name for app in self.app_processes if app.blocked]
+        if stuck:
+            raise DeadlockError(f"system {self.name!r}: blocked processes {stuck}")
+
+    def __repr__(self) -> str:
+        return (
+            f"DSMSystem({self.name!r}, protocol={self.protocol.name!r}, "
+            f"apps={len(self.app_processes)}, mcs={self.mcs_count})"
+        )
+
+
+__all__ = ["DSMSystem"]

@@ -1,0 +1,19 @@
+"""Measurement: traffic accounting, visibility latency, response times."""
+
+from repro.metrics.collector import ResponseStats, response_stats
+from repro.metrics.convergence import ConvergenceReport, replica_convergence
+from repro.metrics.latency import VisibilityTracker, WriteVisibility
+from repro.metrics.traffic import MESSAGE_OVERHEAD_BYTES, TrafficMeter, estimate_bytes, messages_per_write
+
+__all__ = [
+    "TrafficMeter",
+    "estimate_bytes",
+    "MESSAGE_OVERHEAD_BYTES",
+    "messages_per_write",
+    "VisibilityTracker",
+    "WriteVisibility",
+    "ConvergenceReport",
+    "replica_convergence",
+    "ResponseStats",
+    "response_stats",
+]

@@ -1,0 +1,65 @@
+"""Runtime replica-convergence measurement.
+
+Separate from the history-level CCv checker: after a run quiesces, did
+the replicas of each variable converge to one value? Causal memory does
+not require it (concurrent writes may settle differently per replica);
+sequential, cache, and arbitration-based protocols do converge. The
+benchmark suite uses this to show the convergence spectrum across the
+protocol zoo.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.memory.operations import INITIAL_VALUE
+from repro.memory.system import DSMSystem
+
+
+@dataclass
+class ConvergenceReport:
+    """Per-variable final replica values across one or more systems."""
+
+    values: dict[str, set] = field(default_factory=dict)
+
+    @property
+    def converged(self) -> bool:
+        return all(len(values) == 1 for values in self.values.values())
+
+    def divergent_variables(self) -> list[str]:
+        return sorted(var for var, values in self.values.items() if len(values) > 1)
+
+    def summary(self) -> str:
+        if self.converged:
+            return f"converged on all {len(self.values)} variables"
+        divergent = ", ".join(self.divergent_variables())
+        return f"divergent on: {divergent}"
+
+
+def replica_convergence(
+    systems: Iterable[DSMSystem],
+    variables: Iterable[str],
+    include_interconnect: bool = True,
+) -> ConvergenceReport:
+    """Collect each replica's final value for every variable.
+
+    Replicas that never saw a variable (still at the initial value) are
+    skipped: partial replication and invalidation legitimately leave
+    non-holders without a value.
+    """
+    report = ConvergenceReport()
+    for var in variables:
+        observed = set()
+        for system in systems:
+            for mcs in system.mcs_processes:
+                if not include_interconnect and "~isp" in mcs.name:
+                    continue
+                value = mcs.local_value(var)
+                if value is not INITIAL_VALUE:
+                    observed.add(value)
+        report.values[var] = observed or {INITIAL_VALUE}
+    return report
+
+
+__all__ = ["ConvergenceReport", "replica_convergence"]

@@ -1,0 +1,109 @@
+"""Write-visibility latency measurement (§6's l, and 3l + 2d).
+
+The paper defines latency as the time until a written value is visible at
+every other process. :class:`VisibilityTracker` hooks every MCS-process's
+replica-update callback and records, per written value, when each replica
+applied it. The *visibility latency* of a write is the span from its first
+application (at the writer, effectively the issue time) to its last
+application anywhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.memory.interface import MCSProcess
+from repro.memory.system import DSMSystem
+
+
+@dataclass
+class WriteVisibility:
+    """Per-value application times across replicas."""
+
+    var: str
+    value: object
+    first_applied: float
+    applied_at: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def last_applied(self) -> float:
+        return max(self.applied_at.values())
+
+    @property
+    def latency(self) -> float:
+        """First-to-last application span (the worst-case visibility lag)."""
+        return self.last_applied - self.first_applied
+
+    def replica_count(self) -> int:
+        return len(self.applied_at)
+
+
+class VisibilityTracker:
+    """Tracks when every replica applies every written value."""
+
+    def __init__(self) -> None:
+        self._records: dict[tuple[str, object], WriteVisibility] = {}
+        self._expected_replicas: Optional[int] = None
+
+    def attach_system(self, system: DSMSystem) -> "VisibilityTracker":
+        for mcs in system.mcs_processes:
+            self.attach_mcs(mcs)
+        return self
+
+    def attach_systems(self, systems: Iterable[DSMSystem]) -> "VisibilityTracker":
+        total = 0
+        for system in systems:
+            self.attach_system(system)
+            total += len(system.mcs_processes)
+        self._expected_replicas = total
+        return self
+
+    def attach_mcs(self, mcs: MCSProcess) -> None:
+        previous = mcs.update_listener
+        if previous is not None:
+            def chained(inner: MCSProcess, var: str, value: object) -> None:
+                previous(inner, var, value)
+                self._observe(inner, var, value)
+
+            mcs.update_listener = chained
+        else:
+            mcs.update_listener = self._observe
+
+    def _observe(self, mcs: MCSProcess, var: str, value: object) -> None:
+        key = (var, value)
+        record = self._records.get(key)
+        if record is None:
+            record = WriteVisibility(var=var, value=value, first_applied=mcs.now)
+            self._records[key] = record
+        record.applied_at.setdefault(mcs.name, mcs.now)
+
+    @property
+    def records(self) -> list[WriteVisibility]:
+        return list(self._records.values())
+
+    def fully_visible(self) -> list[WriteVisibility]:
+        """Writes applied at every tracked replica (needs attach_systems)."""
+        if self._expected_replicas is None:
+            return self.records
+        return [
+            record
+            for record in self._records.values()
+            if record.replica_count() == self._expected_replicas
+        ]
+
+    def worst_latency(self) -> float:
+        """Max visibility latency among fully visible writes."""
+        visible = self.fully_visible()
+        if not visible:
+            return 0.0
+        return max(record.latency for record in visible)
+
+    def mean_latency(self) -> float:
+        visible = self.fully_visible()
+        if not visible:
+            return 0.0
+        return sum(record.latency for record in visible) / len(visible)
+
+
+__all__ = ["VisibilityTracker", "WriteVisibility"]

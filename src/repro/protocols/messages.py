@@ -1,0 +1,45 @@
+"""Message types exchanged by MCS protocols.
+
+Kept in one module so traffic accounting can classify payloads by type,
+and so tests can assert on exactly what crosses the wire.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.sim.clock import VectorClock
+
+
+@dataclass(frozen=True)
+class CausalUpdate:
+    """Propagation of a write, vector-timestamped (causal protocols)."""
+
+    var: str
+    value: Any
+    ts: VectorClock
+    sender_index: int
+    sender_name: str
+
+
+@dataclass(frozen=True)
+class WriteRequest:
+    """A write forwarded to a sequencer (sequential / cache protocols)."""
+
+    var: str
+    value: Any
+    origin: str
+
+
+@dataclass(frozen=True)
+class SequencedUpdate:
+    """A write with its global (or per-variable) sequence number."""
+
+    seqno: int
+    var: str
+    value: Any
+    origin: str
+
+
+__all__ = ["CausalUpdate", "WriteRequest", "SequencedUpdate"]

@@ -1,0 +1,484 @@
+"""EXPERIMENTS.md generation: run every experiment, tabulate paper vs measured.
+
+Shared by ``scripts/run_experiments.py`` and ``python -m repro experiments``.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.analysis import (
+    Comparison,
+    bottleneck_crossings_flat,
+    bottleneck_crossings_interconnected,
+    chain_worst_latency,
+    flat_latency,
+    flat_messages_per_write,
+    interconnected_messages_per_write,
+    star_worst_latency,
+)
+from repro.checker import check_causal
+from repro.experiments import (
+    LATENCY_D as D,
+    LATENCY_L as L,
+    crossings_per_write_bridged as run_bridged,
+    crossings_per_write_flat as run_flat_split,
+    dialup_run as run_dialup,
+    latency_flat as run_flat_latency,
+    latency_tree as run_tree,
+    messages_per_write_flat as run_flat,
+    messages_per_write_interconnected as run_interconnected,
+    response_time as measure_response,
+    sequential_bridge_dekker as run_dekker,
+    sequential_bridge_random as run_random_bridge,
+)
+from repro.workloads import WorkloadSpec, build_interconnected
+from repro.workloads.scenarios import (
+    lemma1_scenario,
+    run_until_quiescent,
+    section3_counterexample,
+)
+
+
+def md_table(rows: list[Comparison]) -> str:
+    lines = [
+        "| configuration | model | measured | ratio |",
+        "|---|---:|---:|---:|",
+    ]
+    for row in rows:
+        lines.append(
+            f"| {row.label} | {row.predicted:.2f} | {row.measured:.2f} | {row.ratio:.2f} |"
+        )
+    return "\n".join(lines)
+
+
+def experiment_e1() -> str:
+    rows = [
+        Comparison(f"flat, n={n}", flat_messages_per_write(n), run_flat(n))
+        for n in (2, 4, 8, 16)
+    ]
+    return md_table(rows)
+
+
+def experiment_e2() -> str:
+    rows = []
+    for m in (2, 3, 4, 5):
+        measured, n = run_interconnected(m, True)
+        rows.append(
+            Comparison(
+                f"m={m} systems, shared IS (n={n})",
+                interconnected_messages_per_write(n, m, shared=True),
+                measured,
+            )
+        )
+    for m in (2, 3, 4, 5):
+        measured, n = run_interconnected(m, False)
+        rows.append(
+            Comparison(
+                f"m={m} systems, per-edge IS (n={n})",
+                interconnected_messages_per_write(n, m, shared=False),
+                measured,
+            )
+        )
+    return md_table(rows)
+
+
+def experiment_e3() -> str:
+    rows = []
+    for per_side in (2, 4, 8):
+        rows.append(
+            Comparison(
+                f"flat split {per_side}+{per_side}",
+                bottleneck_crossings_flat(per_side),
+                run_flat_split(per_side),
+            )
+        )
+        rows.append(
+            Comparison(
+                f"bridged {per_side}+{per_side}",
+                bottleneck_crossings_interconnected(),
+                run_bridged(per_side),
+            )
+        )
+    return md_table(rows)
+
+
+def experiment_e4() -> str:
+    rows = [Comparison("flat system", flat_latency(L), run_flat_latency())]
+    for m in (3, 4, 5):
+        rows.append(
+            Comparison(
+                f"star m={m}, per-edge IS (paper: 3l+2d)",
+                star_worst_latency(L, D, m),
+                run_tree(m, "star", False),
+            )
+        )
+    rows.append(
+        Comparison(
+            "star m=4, shared IS (refined: 2l+2d)",
+            2 * L + 2 * D,
+            run_tree(4, "star", True),
+        )
+    )
+    for m in (3, 5):
+        rows.append(
+            Comparison(
+                f"chain m={m}, per-edge IS (m*l+(m-1)*d)",
+                chain_worst_latency(L, D, m),
+                run_tree(m, "chain", False),
+            )
+        )
+    return md_table(rows)
+
+
+def experiment_e5() -> str:
+    alone = measure_response(["vector-causal"])
+    bridged = measure_response(["vector-causal", "vector-causal"])
+    seq_alone = measure_response(["aw-sequential"])
+    seq_bridged = measure_response(["aw-sequential", "vector-causal"])
+    rows = [
+        Comparison("vector protocol mean (alone -> bridged)", alone.mean, bridged.mean),
+        Comparison("vector protocol max (alone -> bridged)", alone.maximum, bridged.maximum),
+        Comparison("sequential protocol mean (alone -> bridged)", seq_alone.mean, seq_bridged.mean),
+    ]
+    return md_table(rows)
+
+
+def experiment_e6_e7() -> str:
+    lines = ["| configuration | global ops | causal? |", "|---|---:|---|"]
+    configurations = [
+        (["vector-causal", "vector-causal"], "star", True),
+        (["vector-causal", "aw-sequential"], "star", True),
+        (["vector-causal"] * 4, "star", True),
+        (["vector-causal"] * 5, "chain", False),
+        (["vector-causal", "parametrized-causal", "aw-sequential", "delayed-causal"], "star", True),
+    ]
+    spec = WorkloadSpec(processes=3, ops_per_process=6, write_ratio=0.5)
+    for protocols, topology, shared in configurations:
+        result = build_interconnected(protocols, spec, topology=topology, shared=shared, seed=7)
+        run_until_quiescent(result.sim, result.systems)
+        verdict = check_causal(result.global_history)
+        label = " + ".join(protocols) if len(protocols) <= 2 else (
+            f"{len(protocols)} systems ({topology}, {'shared' if shared else 'per-edge'})"
+        )
+        lines.append(f"| {label} | {len(result.global_history)} | {'yes' if verdict.ok else 'NO'} |")
+    return "\n".join(lines)
+
+
+def experiment_e8() -> str:
+    lines = ["| IS-protocol variant | violation rate (10 seeds) |", "|---|---:|"]
+    for read_before_send, label in ((True, "with read step (paper)"), (False, "read step ablated")):
+        violations = 0
+        for seed in range(10):
+            result = section3_counterexample(read_before_send=read_before_send, seed=seed)
+            run_until_quiescent(result.sim, result.systems)
+            if not check_causal(result.global_history).ok:
+                violations += 1
+        lines.append(f"| {label} | {violations}/10 |")
+    return "\n".join(lines)
+
+
+def experiment_e9() -> str:
+    lines = ["| configuration | violation rate (20 lag seeds) |", "|---|---:|"]
+    for use_pre_update, label in (
+        (False, "IS-protocol 1 misused on non-causal-updating MCS"),
+        (True, "IS-protocol 2 (pre-update reads)"),
+    ):
+        violations = 0
+        for lag_seed in range(20):
+            result = lemma1_scenario(use_pre_update=use_pre_update, lag_seed=lag_seed)
+            run_until_quiescent(result.sim, result.systems)
+            if not check_causal(result.global_history).ok:
+                violations += 1
+        lines.append(f"| {label} | {violations}/20 |")
+    return "\n".join(lines)
+
+
+def experiment_e10() -> str:
+    causal_ok = sum(1 for seed in range(8) if run_random_bridge(seed)[0])
+    still_sequential = sum(1 for seed in range(8) if run_random_bridge(seed)[1])
+    dekker_causal, dekker_sequential = run_dekker()
+    lines = [
+        "| property | result |",
+        "|---|---|",
+        f"| union causal (8 random workloads) | {causal_ok}/8 |",
+        f"| union still sequential (8 random workloads) | {still_sequential}/8 |",
+        f"| cross-system Dekker race: causal | {'yes' if dekker_causal else 'NO'} |",
+        f"| cross-system Dekker race: sequential | {'yes' if dekker_sequential else 'no'} |",
+    ]
+    return "\n".join(lines)
+
+
+def experiment_e11() -> str:
+    lines = [
+        "| link duty cycle | max queued pairs | mean pair delay | causal? |",
+        "|---:|---:|---:|---|",
+    ]
+    for up_fraction in (1.0, 0.5, 0.1, 0.02):
+        _, queue_depth, delay, causal = run_dialup(200.0, up_fraction)
+        lines.append(
+            f"| {up_fraction:.0%} | {queue_depth} | {delay:.1f} | {'yes' if causal else 'NO'} |"
+        )
+    return "\n".join(lines)
+
+
+def experiment_x1() -> str:
+    from repro.memory.recorder import HistoryRecorder
+    from repro.memory.system import DSMSystem
+    from repro.metrics import TrafficMeter, response_stats
+    from repro.protocols import get
+    from repro.sim.core import Simulator
+    from repro.workloads import populate_system
+
+    lines = [
+        "| replication factor | value msgs/write | notices/write | remote reads | mean response |",
+        "|---:|---:|---:|---:|---:|",
+    ]
+    for factor in (1, 2, 4, 6):
+        sim = Simulator()
+        recorder = HistoryRecorder()
+        spec = get("partial-causal").with_options(replication_factor=factor)
+        system = DSMSystem(sim, "S", spec, recorder=recorder, seed=0)
+        meter = TrafficMeter().attach(system.network)
+        populate_system(
+            system, WorkloadSpec(processes=6, ops_per_process=6, write_ratio=0.5), seed=0
+        )
+        run_until_quiescent(sim, [system])
+        history = recorder.history()
+        assert check_causal(history).ok
+        writes = sum(1 for op in history if op.is_write)
+        remote = sum(app.mcs.remote_reads for app in system.app_processes)
+        lines.append(
+            f"| {factor} | {meter.by_kind['PartialUpdate'] / writes:.2f} "
+            f"| {meter.by_kind['WriteNotice'] / writes:.2f} | {remote} "
+            f"| {response_stats([system]).mean:.3f} |"
+        )
+    return "\n".join(lines)
+
+
+def experiment_x2() -> str:
+    from repro.memory.recorder import HistoryRecorder
+    from repro.memory.system import DSMSystem
+    from repro.metrics import TrafficMeter, response_stats
+    from repro.protocols import get
+    from repro.sim.core import Simulator
+    from repro.workloads import populate_system
+
+    lines = [
+        "| protocol | workload | value msgs/write | mean response | causal? |",
+        "|---|---|---:|---:|---|",
+    ]
+    for protocol in ("vector-causal", "invalidation-causal"):
+        for write_ratio, label in ((0.8, "write-heavy"), (0.3, "read-heavy")):
+            sim = Simulator()
+            recorder = HistoryRecorder()
+            system = DSMSystem(sim, "S", get(protocol), recorder=recorder, seed=0)
+            meter = TrafficMeter().attach(system.network)
+            populate_system(
+                system,
+                WorkloadSpec(processes=5, ops_per_process=6, write_ratio=write_ratio),
+                seed=0,
+            )
+            run_until_quiescent(sim, [system])
+            history = recorder.history()
+            causal = check_causal(history).ok
+            writes = max(sum(1 for op in history if op.is_write), 1)
+            values = meter.by_kind["CausalUpdate"] + meter.by_kind["FetchReply"]
+            lines.append(
+                f"| {protocol} | {label} | {values / writes:.2f} "
+                f"| {response_stats([system]).mean:.3f} | {'yes' if causal else 'NO'} |"
+            )
+    return "\n".join(lines)
+
+
+def experiment_x7() -> str:
+    import importlib
+    import sys as _sys
+
+    _sys.path.insert(0, "benchmarks")
+    try:
+        channels = importlib.import_module("bench_channel_assumptions")
+    finally:
+        _sys.path.pop(0)
+    reorder_rate = channels.reordering_violation_rate()
+    naive_broken, naive_runs = channels.duplication_breakage_rate(False)
+    hard_broken, hard_runs = channels.duplication_breakage_rate(True)
+    lines = [
+        "| channel assumption broken | outcome |",
+        "|---|---|",
+        f"| FIFO (reordering channel) | {reorder_rate:.0%} of seeds violate causality |",
+        f"| exactly-once (duplicating channel), naive Propagate_in | {naive_broken}/{naive_runs} runs break value-uniqueness |",
+        f"| exactly-once, with dedup_incoming hardening | {hard_broken}/{hard_runs} runs break |",
+    ]
+    return "\n".join(lines)
+
+
+def experiment_x4() -> str:
+    import importlib
+    import sys as _sys
+
+    _sys.path.insert(0, "benchmarks")
+    try:
+        coalescing = importlib.import_module("bench_coalescing")
+    finally:
+        _sys.path.pop(0)
+    lines = [
+        "| rewrites per variable | pairs crossing (plain) | pairs crossing (coalesced) |",
+        "|---:|---:|---:|",
+    ]
+    for rewrites in (2, 4, 8, 16):
+        plain = coalescing.run_burst(False, rewrites)[0]
+        merged = coalescing.run_burst(True, rewrites)[0]
+        lines.append(f"| {rewrites} | {plain} | {merged} |")
+    return "\n".join(lines)
+
+
+def experiment_x3() -> str:
+    import importlib
+    import sys as _sys
+
+    _sys.path.insert(0, "benchmarks")
+    try:
+        zoo = importlib.import_module("bench_protocol_zoo")
+    finally:
+        _sys.path.pop(0)
+    lines = [
+        "| protocol | msgs/write | mean response | causal | CCv | sequential |",
+        "|---|---:|---:|---|---|---|",
+    ]
+    for protocol in zoo.PROTOCOLS:
+        row = zoo.run_zoo_member(protocol)
+        seq = "-" if row["sequential"] is None else ("yes" if row["sequential"] else "no")
+        lines.append(
+            f"| {row['protocol']} | {row['msgs_per_write']:.2f} "
+            f"| {row['mean_response']:.2f} | {'yes' if row['causal'] else 'NO'} "
+            f"| {'yes' if row['ccv'] else 'no'} | {seq} |"
+        )
+    return "\n".join(lines)
+
+
+SECTIONS = [
+    (
+        "E1 — flat message count (§6)",
+        "Paper: a flat causal system with `n` MCS-processes generates `n-1` messages per write.",
+        experiment_e1,
+    ),
+    (
+        "E2 — interconnected message count (§6)",
+        "Paper: two systems `n+1`; `m` systems `n+m-1` (one shared IS-process per system). "
+        "The §5 pairwise construction (one IS-process per system per link) costs `n+2m-3`.",
+        experiment_e2,
+    ),
+    (
+        "E3 — bottleneck-link crossings (§6)",
+        "Paper: flat split system `n/2` crossings per write; interconnected exactly `1`.",
+        experiment_e3,
+    ),
+    (
+        "E4 — visibility latency (§6)",
+        "Paper: flat `l`; star worst case `3l + 2d`. Measured with `l=2`, `d=5`. "
+        "Shared IS-processes forward on receipt and beat the bound (`2l + 2d`).",
+        experiment_e4,
+    ),
+    (
+        "E5 — response time (§6)",
+        "Paper: the interconnection does not affect local operation response times.",
+        experiment_e5,
+    ),
+    (
+        "E6/E7 — Theorem 1 and Corollary 1",
+        "The union of causal systems under the IS-protocols is causal — pairs, trees, "
+        "mixed protocols. (The property suite re-checks this over thousands of random runs.)",
+        experiment_e6_e7,
+    ),
+    (
+        "E8 — the §3 counterexample (ablation)",
+        "Dropping `Propagate_out`'s read leaves propagated values causally untethered; the "
+        "distant reader observes the overwrite `u` before the original `v`.",
+        experiment_e8,
+    ),
+    (
+        "E9 — Lemma 1 / Property 1",
+        "A causal MCS protocol without Causal Updating propagates causally ordered writes "
+        "out of order under IS-protocol 1; IS-protocol 2's pre-update reads force causal "
+        "application order at the IS replica.",
+        experiment_e9,
+    ),
+    (
+        "E10 — interconnecting sequential systems (§1.1)",
+        "Sequential consistency implies causal; the union is causal but, in general, no "
+        "longer sequential.",
+        experiment_e10,
+    ),
+    (
+        "X1 — partial replication economics (extension, ref [8])",
+        "Values travel only to replica holders; timestamp-only notices keep causal "
+        "gating sound; remote reads pay latency. Causality holds at every factor.",
+        experiment_x1,
+    ),
+    (
+        "X2 — invalidation vs propagation (extension, §1 remark)",
+        "Invalidation moves fewer values on write-heavy workloads and pays fetch round "
+        "trips on read-heavy ones; the fetch-on-invalidate IS adapter restores "
+        "Theorem 1 at the bridge.",
+        experiment_x2,
+    ),
+    (
+        "X3 — the protocol zoo",
+        "Every protocol, one workload: cost vs consistency. Verdicts are measured by "
+        "the checkers on this run (weak protocols may pass on benign timings; their "
+        "violations are pinned deterministically in the test suite).",
+        experiment_x3,
+    ),
+    (
+        "X4 — coalescing queued pairs (extension, §1.1 remark)",
+        "While the IS link is down, adjacent same-variable pairs in the outbox are "
+        "merged; only the latest value per burst crosses when the link returns. "
+        "Causality is preserved (adjacency-limited merging keeps the causal pair order).",
+        experiment_x4,
+    ),
+    (
+        "X7 — necessity of the reliable-FIFO channel (§1.1)",
+        "Breaking each channel assumption in isolation: non-FIFO delivery reorders the "
+        "propagated pairs (the Lemma 1 failure mode); at-least-once delivery double-"
+        "writes values unless Propagate_in is made idempotent.",
+        experiment_x7,
+    ),
+    (
+        "E11 — dial-up links (§1.1)",
+        "The IS channel may be unavailable for long periods: pairs queue, order is "
+        "preserved, causality is never traded — only latency grows.",
+        experiment_e11,
+    ),
+]
+
+def generate_report(progress=None) -> str:
+    """Run all experiments and return the full EXPERIMENTS.md markdown."""
+    parts = [
+        "# EXPERIMENTS — paper vs. measured",
+        "",
+        "Generated by `python scripts/run_experiments.py`. Every number below is",
+        "measured on the deterministic simulator; 'model' columns are the paper's",
+        "§6 closed forms (or the formal claims of §3–§5). The paper reports no",
+        "empirical tables, so its analytical claims *are* the evaluation; the",
+        "vector-clock causal protocol matches the paper's cost assumptions",
+        "(`x-1` messages per write, none per read), hence ratios of exactly 1.00",
+        "are expected — and obtained.",
+        "",
+    ]
+    start = time.time()
+    for title, intro, runner in SECTIONS:
+        if progress is not None:
+            progress(title)
+        parts.append(f"## {title}")
+        parts.append("")
+        parts.append(intro)
+        parts.append("")
+        parts.append(runner())
+        parts.append("")
+    parts.append(f"_Total generation time: {time.time() - start:.1f}s (wall)._")
+    parts.append("")
+    return "\n".join(parts)
+
+
+__all__ = ["generate_report", "SECTIONS", "md_table"]

@@ -1,0 +1,127 @@
+"""Logical clocks: vector clocks and Lamport clocks.
+
+Vector clocks are the workhorse of the causal MCS protocols
+(:mod:`repro.protocols.vector`): a write is applied at a replica only when
+it is *causally ready* with respect to the replica's clock. Lamport clocks
+provide the total-order tiebreaker used by the sequential protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Mapping
+
+
+class VectorClock:
+    """An immutable vector clock over integer process indices.
+
+    Entries default to zero, so clocks over different process sets compare
+    sensibly. All operations return new clocks; instances are hashable and
+    safe to embed in messages.
+    """
+
+    __slots__ = ("_entries",)
+
+    def __init__(self, entries: Mapping[int, int] | None = None) -> None:
+        items = {}
+        if entries:
+            for proc, count in entries.items():
+                if count < 0:
+                    raise ValueError(f"negative clock entry for process {proc}")
+                if count > 0:
+                    items[proc] = count
+        self._entries: tuple[tuple[int, int], ...] = tuple(sorted(items.items()))
+
+    def get(self, proc: int) -> int:
+        """Value of the entry for *proc* (0 if absent)."""
+        for key, value in self._entries:
+            if key == proc:
+                return value
+        return 0
+
+    def increment(self, proc: int) -> "VectorClock":
+        """Return a copy with *proc*'s entry incremented by one."""
+        entries = dict(self._entries)
+        entries[proc] = entries.get(proc, 0) + 1
+        return VectorClock(entries)
+
+    def merge(self, other: "VectorClock") -> "VectorClock":
+        """Pointwise maximum (join) of the two clocks."""
+        entries = dict(self._entries)
+        for proc, count in other._entries:
+            if count > entries.get(proc, 0):
+                entries[proc] = count
+        return VectorClock(entries)
+
+    def dominates(self, other: "VectorClock") -> bool:
+        """True if every entry of *self* is >= the entry of *other*."""
+        return all(self.get(proc) >= count for proc, count in other._entries)
+
+    def __le__(self, other: "VectorClock") -> bool:
+        return other.dominates(self)
+
+    def __lt__(self, other: "VectorClock") -> bool:
+        return self <= other and self != other
+
+    def concurrent_with(self, other: "VectorClock") -> bool:
+        """True if neither clock dominates the other."""
+        return not self.dominates(other) and not other.dominates(self)
+
+    def processes(self) -> Iterator[int]:
+        """Processes with a nonzero entry."""
+        return (proc for proc, _ in self._entries)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, VectorClock):
+            return NotImplemented
+        return self._entries == other._entries
+
+    def __hash__(self) -> int:
+        return hash(self._entries)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{proc}:{count}" for proc, count in self._entries)
+        return f"VC({{{inner}}})"
+
+    @classmethod
+    def join_all(cls, clocks: Iterable["VectorClock"]) -> "VectorClock":
+        """Pointwise maximum of any number of clocks."""
+        result = cls()
+        for clock in clocks:
+            result = result.merge(clock)
+        return result
+
+
+@dataclass(frozen=True, order=True)
+class LamportTimestamp:
+    """A Lamport timestamp: (counter, process id) totally ordered pairs."""
+
+    counter: int
+    proc: int
+
+
+class LamportClock:
+    """A mutable Lamport clock owned by a single process."""
+
+    __slots__ = ("_proc", "_counter")
+
+    def __init__(self, proc: int) -> None:
+        self._proc = proc
+        self._counter = 0
+
+    def tick(self) -> LamportTimestamp:
+        """Advance for a local event and return the new timestamp."""
+        self._counter += 1
+        return LamportTimestamp(self._counter, self._proc)
+
+    def observe(self, remote: LamportTimestamp) -> LamportTimestamp:
+        """Advance past a received timestamp and return the new timestamp."""
+        self._counter = max(self._counter, remote.counter) + 1
+        return LamportTimestamp(self._counter, self._proc)
+
+    @property
+    def current(self) -> LamportTimestamp:
+        return LamportTimestamp(self._counter, self._proc)
+
+
+__all__ = ["VectorClock", "LamportClock", "LamportTimestamp"]

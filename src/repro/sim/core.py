@@ -1,0 +1,169 @@
+"""Deterministic discrete-event simulation kernel.
+
+The kernel is intentionally small: a priority queue of timestamped events
+and a virtual clock. Determinism is guaranteed by breaking timestamp ties
+with a monotonically increasing sequence number, so two runs with the same
+seed and the same call order produce identical executions. This is what
+makes consistency violations reproducible (see DESIGN.md, substitutions).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.errors import SimulationError
+
+
+@dataclass(order=True)
+class _ScheduledEvent:
+    """Internal heap entry: ordered by (time, sequence number)."""
+
+    time: float
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class EventHandle:
+    """Handle returned by :meth:`Simulator.schedule`, usable to cancel."""
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event: _ScheduledEvent) -> None:
+        self._event = event
+
+    def cancel(self) -> None:
+        """Prevent the event from firing. Cancelling twice is a no-op."""
+        self._event.cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.cancelled
+
+    @property
+    def time(self) -> float:
+        return self._event.time
+
+
+class Simulator:
+    """A discrete-event simulator with a virtual clock.
+
+    Usage::
+
+        sim = Simulator()
+        sim.schedule(1.5, lambda: print("fires at t=1.5"))
+        sim.run()
+
+    The simulator is single-threaded; callbacks run to completion before
+    the next event fires. Any callback may schedule further events.
+    """
+
+    def __init__(self) -> None:
+        self._queue: list[_ScheduledEvent] = []
+        self._seq = itertools.count()
+        self._now = 0.0
+        self._running = False
+        self._processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current virtual time."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of events executed so far (diagnostic)."""
+        return self._processed
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> EventHandle:
+        """Schedule *callback* to run *delay* time units from now.
+
+        Events scheduled with equal fire times run in scheduling order.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        event = _ScheduledEvent(self._now + delay, next(self._seq), callback)
+        heapq.heappush(self._queue, event)
+        return EventHandle(event)
+
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> EventHandle:
+        """Schedule *callback* at absolute virtual time *time*.
+
+        Uses *time* exactly (no now-relative float roundtrip): two events
+        scheduled at the same absolute instant fire in scheduling order,
+        which the FIFO channels rely on.
+        """
+        if time < self._now:
+            raise SimulationError(f"cannot schedule in the past (at={time}, now={self._now})")
+        event = _ScheduledEvent(time, next(self._seq), callback)
+        heapq.heappush(self._queue, event)
+        return EventHandle(event)
+
+    def call_soon(self, callback: Callable[[], None]) -> EventHandle:
+        """Schedule *callback* at the current time, after pending events
+        with the same timestamp."""
+        return self.schedule(0.0, callback)
+
+    def step(self) -> bool:
+        """Run the next pending event. Returns False if the queue is empty."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            if event.time < self._now:
+                raise SimulationError("event queue went backwards in time")
+            self._now = event.time
+            self._processed += 1
+            event.callback()
+            return True
+        return False
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+    ) -> float:
+        """Run events until the queue drains, *until* is reached, or
+        *max_events* events have been processed. Returns the final time.
+        """
+        if self._running:
+            raise SimulationError("Simulator.run() is not reentrant")
+        self._running = True
+        try:
+            executed = 0
+            while self._queue:
+                if max_events is not None and executed >= max_events:
+                    break
+                nxt = self._peek()
+                if nxt is None:
+                    break
+                if until is not None and nxt.time > until:
+                    self._now = until
+                    break
+                if not self.step():
+                    break
+                executed += 1
+            if until is not None and self._now < until and not self._queue:
+                self._now = until
+        finally:
+            self._running = False
+        return self._now
+
+    def _peek(self) -> Optional[_ScheduledEvent]:
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+        return self._queue[0] if self._queue else None
+
+    @property
+    def pending(self) -> int:
+        """Number of live (non-cancelled) events still queued."""
+        return sum(1 for event in self._queue if not event.cancelled)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Simulator(now={self._now:.3f}, pending={self.pending})"
+
+
+__all__ = ["Simulator", "EventHandle"]

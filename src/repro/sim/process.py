@@ -1,0 +1,39 @@
+"""Base class for simulated processes.
+
+A :class:`SimProcess` is anything with an identity that lives on the event
+loop: MCS-processes, application drivers, and IS-processes all derive from
+it. It only provides naming and scheduling conveniences; behaviour lives in
+subclasses.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.sim.core import EventHandle, Simulator
+
+
+class SimProcess:
+    """A named participant in a simulation."""
+
+    def __init__(self, sim: Simulator, name: str) -> None:
+        self.sim = sim
+        self.name = name
+
+    def after(self, delay: float, action: Callable[[], None]) -> EventHandle:
+        """Schedule *action* to run *delay* time units from now."""
+        return self.sim.schedule(delay, action)
+
+    def soon(self, action: Callable[[], None]) -> EventHandle:
+        """Schedule *action* to run at the current time (after queued peers)."""
+        return self.sim.call_soon(action)
+
+    @property
+    def now(self) -> float:
+        return self.sim.now
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r})"
+
+
+__all__ = ["SimProcess"]

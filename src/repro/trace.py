@@ -1,0 +1,121 @@
+"""History (trace) serialisation.
+
+Histories round-trip through a small, versioned JSON schema so that
+executions can be archived, shared, and re-checked offline::
+
+    from repro.trace import dump_history, load_history
+    dump_history(history, "run.trace.json")
+    verdict = check_causal(load_history("run.trace.json"))
+
+Values are serialised as tagged scalars: JSON-native values pass through,
+anything else is stringified (and flagged, so loading is loss-aware).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Union
+
+from repro.errors import CheckerError
+from repro.memory.history import History
+from repro.memory.operations import Operation, OpKind
+
+SCHEMA_VERSION = 1
+
+_JSON_NATIVE = (str, int, float, bool, type(None))
+
+
+def _encode_value(value: Any) -> dict[str, Any]:
+    if isinstance(value, _JSON_NATIVE):
+        return {"v": value}
+    return {"v": str(value), "stringified": True}
+
+
+def _decode_value(blob: dict[str, Any]) -> Any:
+    return blob["v"]
+
+
+def history_to_dict(history: History) -> dict[str, Any]:
+    """The JSON-ready representation of *history*."""
+    return {
+        "schema": SCHEMA_VERSION,
+        "kind": "repro-trace",
+        "operations": [
+            {
+                "op_id": op.op_id,
+                "kind": op.kind.value,
+                "proc": op.proc,
+                "var": op.var,
+                "value": _encode_value(op.value),
+                "seq": op.seq,
+                "system": op.system,
+                "issue_time": op.issue_time,
+                "response_time": op.response_time,
+                "is_interconnect": op.is_interconnect,
+            }
+            for op in history
+        ],
+    }
+
+
+def history_from_dict(blob: dict[str, Any]) -> History:
+    """Rebuild a history from :func:`history_to_dict` output."""
+    if blob.get("kind") != "repro-trace":
+        raise CheckerError("not a repro trace (missing kind marker)")
+    if blob.get("schema") != SCHEMA_VERSION:
+        raise CheckerError(
+            f"unsupported trace schema {blob.get('schema')!r} (expected {SCHEMA_VERSION})"
+        )
+    operations = []
+    for entry in blob["operations"]:
+        operations.append(
+            Operation(
+                op_id=entry["op_id"],
+                kind=OpKind(entry["kind"]),
+                proc=entry["proc"],
+                var=entry["var"],
+                value=_decode_value(entry["value"]),
+                seq=entry["seq"],
+                system=entry["system"],
+                issue_time=entry["issue_time"],
+                response_time=entry["response_time"],
+                is_interconnect=entry["is_interconnect"],
+            )
+        )
+    return History(operations)
+
+
+def dumps_history(history: History, indent: int | None = None) -> str:
+    """Serialise *history* to a JSON string."""
+    return json.dumps(history_to_dict(history), indent=indent)
+
+
+def loads_history(text: str) -> History:
+    """Parse a history from a JSON string."""
+    try:
+        blob = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise CheckerError(f"malformed trace JSON: {exc}") from exc
+    return history_from_dict(blob)
+
+
+def dump_history(history: History, path: Union[str, Path], indent: int = 2) -> None:
+    """Write *history* to *path* as JSON."""
+    Path(path).write_text(dumps_history(history, indent=indent), encoding="utf-8")
+
+
+def load_history(path: Union[str, Path]) -> History:
+    """Read a history previously written by :func:`dump_history`."""
+    return loads_history(Path(path).read_text(encoding="utf-8"))
+
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "history_to_dict",
+    "history_from_dict",
+    "dumps_history",
+    "loads_history",
+    "dump_history",
+    "load_history",
+]

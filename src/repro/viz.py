@@ -1,0 +1,138 @@
+"""ASCII space-time diagrams of computations.
+
+A debugging aid for protocol and interconnection work: renders a history
+as one lane per process along a discretised time axis, with writes shown
+as ``w(x)=v`` and reads as ``r(x)=v``. Reads-from relationships are
+listed under the diagram (drawing arrows in ASCII across lanes is more
+noise than signal).
+
+Example output::
+
+    t        0.0       2.0       4.0
+    alice    w(x)=1              .
+    bob                r(x)=1    w(y)=2
+
+Use :func:`render_spacetime` for the lanes and
+:func:`render_reads_from` for the edge list.
+"""
+
+from __future__ import annotations
+
+from repro.memory.history import History
+from repro.memory.operations import Operation
+
+
+def _label(op: Operation) -> str:
+    value = "∅" if op.value is None else str(op.value)
+    return f"{op.kind.value}({op.var})={value}"
+
+
+def render_spacetime(
+    history: History,
+    columns: int = 8,
+    lane_width: int = 14,
+) -> str:
+    """Render *history* as per-process lanes over a bucketed time axis.
+
+    Args:
+        columns: number of time buckets.
+        lane_width: character width per bucket; labels are truncated.
+    """
+    if not history:
+        return "(empty history)"
+    times = [op.issue_time for op in history]
+    start, end = min(times), max(times)
+    span = max(end - start, 1e-9)
+    bucket = span / columns
+
+    def column_of(op: Operation) -> int:
+        return min(int((op.issue_time - start) / bucket), columns - 1)
+
+    header_cells = [f"{start + index * bucket:.1f}" for index in range(columns)]
+    name_width = max(len(proc) for proc in history.processes()) + 2
+    lines = [
+        "t".ljust(name_width)
+        + "".join(cell.ljust(lane_width) for cell in header_cells)
+    ]
+    for proc in history.processes():
+        cells: dict[int, list[str]] = {}
+        for op in history.of_process(proc):
+            cells.setdefault(column_of(op), []).append(_label(op))
+        overflow = False
+        row = [proc.ljust(name_width)]
+        for index in range(columns):
+            labels = cells.get(index, [])
+            if len(labels) > 1:
+                text = f"{labels[0][: lane_width - 4]}+{len(labels) - 1}"
+                overflow = True
+            elif labels:
+                text = labels[0][: lane_width - 1]
+            else:
+                text = ""
+            row.append(text.ljust(lane_width))
+        line = "".join(row).rstrip()
+        if overflow:
+            line += "   (+k = k more ops in that bucket)"
+        lines.append(line)
+    return "\n".join(lines)
+
+
+def render_reads_from(history: History) -> str:
+    """List every read with the write it reads from."""
+    if not history:
+        return "(empty history)"
+    lines = []
+    for read, write in history.reads_from().items():
+        source = str(write) if write is not None else "(initial value)"
+        lines.append(f"{read}  <-  {source}")
+    return "\n".join(lines) if lines else "(no reads)"
+
+
+def ascii_histogram(
+    samples: list[float],
+    bins: int = 8,
+    width: int = 40,
+    label: str = "",
+) -> str:
+    """A text histogram of *samples* (used by the latency benchmarks).
+
+    Example::
+
+        0.0 - 2.5  | ############            (12)
+        2.5 - 5.0  | ####################    (20)
+    """
+    if not samples:
+        return f"{label}(no samples)"
+    low, high = min(samples), max(samples)
+    if high == low:
+        return f"{label}{len(samples)} samples, all = {low:g}"
+    span = (high - low) / bins
+    counts = [0] * bins
+    for sample in samples:
+        bucket = min(int((sample - low) / span), bins - 1)
+        counts[bucket] += 1
+    peak = max(counts)
+    lines = [label] if label else []
+    for bucket, count in enumerate(counts):
+        start = low + bucket * span
+        end = start + span
+        bar = "#" * max(1, round(width * count / peak)) if count else ""
+        lines.append(f"{start:8.2f} - {end:8.2f} | {bar:<{width}} ({count})")
+    return "\n".join(lines)
+
+
+def render_report(history: History, columns: int = 8) -> str:
+    """Diagram + reads-from edges + per-process program orders."""
+    parts = [
+        "space-time diagram",
+        "==================",
+        render_spacetime(history, columns=columns),
+        "",
+        "reads-from",
+        "==========",
+        render_reads_from(history),
+    ]
+    return "\n".join(parts)
+
+
+__all__ = ["render_spacetime", "render_reads_from", "render_report", "ascii_histogram"]

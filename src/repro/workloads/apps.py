@@ -1,0 +1,129 @@
+"""Reusable application programs for causal shared memory.
+
+These are the "relatively easy programming" patterns the causal model is
+praised for (§1 of the paper), packaged as generator programs:
+
+* :func:`ping_pong` — token passing between two processes through two
+  variables; each handoff extends the causal chain, making it the deepest
+  causality stress the workload suite has (especially across a bridge).
+* :func:`log_appender` / :func:`log_reader` — a single-writer append-only
+  log over indexed variables; readers must observe a prefix (causality
+  guarantees the entries appear in order).
+* :func:`pipeline_stage` — read a value from an input variable, transform
+  it, write it to an output variable: chains of stages build transitive
+  causal dependencies across processes and systems.
+
+All values produced are globally unique (the §2 assumption) by embedding
+the producing process's name and a sequence number.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator, Optional
+
+from repro.memory.program import Command, Read, Sleep, Write
+
+
+def ping_pong(
+    my_var: str,
+    peer_var: str,
+    name: str,
+    rounds: int,
+    first: bool,
+    poll_interval: float = 0.5,
+    max_polls: int = 4000,
+) -> Iterator[Command]:
+    """Token passing: write my_var, wait for the peer's reply, repeat.
+
+    Two processes run mirrored instances (one with ``first=True``). Each
+    round appends one link to the causal chain; ``rounds`` rounds produce
+    a chain of ``2 * rounds`` causally ordered writes.
+    """
+    polls_left = max_polls
+    for round_number in range(rounds):
+        if first:
+            yield Write(my_var, f"{name}:{round_number}")
+        expected = f"{'peer'}"
+        # Wait for the peer's write for this round.
+        while True:
+            seen = yield Read(peer_var)
+            if isinstance(seen, str) and seen.endswith(f":{round_number}"):
+                break
+            polls_left -= 1
+            if polls_left <= 0:
+                return
+            yield Sleep(poll_interval)
+        if not first:
+            yield Write(my_var, f"{name}:{round_number}")
+
+
+def log_appender(
+    log_prefix: str,
+    name: str,
+    entries: int,
+    gap: float = 0.5,
+) -> Iterator[Command]:
+    """Append ``entries`` records to the log variables ``{prefix}.0..n``,
+    then publish the length to ``{prefix}.len`` after each append."""
+    for index in range(entries):
+        yield Write(f"{log_prefix}.{index}", f"{name}:entry{index}")
+        yield Write(f"{log_prefix}.len", f"{name}:len{index + 1}")
+        if gap:
+            yield Sleep(gap)
+
+
+def log_reader(
+    log_prefix: str,
+    results: list,
+    target_length: int,
+    poll_interval: float = 0.5,
+    max_polls: int = 4000,
+) -> Iterator[Command]:
+    """Poll the log until ``target_length`` entries are visible, then read
+    them all and append the observed entries to *results*.
+
+    Causality guarantees the whole prefix is readable once the published
+    length is: every append causally precedes the length publication.
+    """
+    polls_left = max_polls
+    while True:
+        seen = yield Read(f"{log_prefix}.len")
+        if isinstance(seen, str) and seen.endswith(f"len{target_length}"):
+            break
+        polls_left -= 1
+        if polls_left <= 0:
+            results.append(None)
+            return
+        yield Sleep(poll_interval)
+    observed = []
+    for index in range(target_length):
+        entry = yield Read(f"{log_prefix}.{index}")
+        observed.append(entry)
+    results.append(observed)
+
+
+def pipeline_stage(
+    input_var: str,
+    output_var: str,
+    name: str,
+    transform: Optional[Callable[[Any], Any]] = None,
+    poll_interval: float = 0.5,
+    max_polls: int = 4000,
+) -> Iterator[Command]:
+    """Wait for any non-initial value on *input_var*, transform it, and
+    write the result to *output_var* (value uniqueness preserved by
+    prefixing the stage name)."""
+    polls_left = max_polls
+    while True:
+        seen = yield Read(input_var)
+        if seen is not None:
+            break
+        polls_left -= 1
+        if polls_left <= 0:
+            return
+        yield Sleep(poll_interval)
+    produced = transform(seen) if transform else seen
+    yield Write(output_var, f"{name}<{produced}>")
+
+
+__all__ = ["ping_pong", "log_appender", "log_reader", "pipeline_stage"]

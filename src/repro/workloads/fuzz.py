@@ -1,0 +1,97 @@
+"""Bounded timing exploration: sweep delay assignments over a scenario.
+
+The paper's claims are universally quantified over executions ("*any*
+computation of S^T is causal"); a single simulated run only witnesses one
+timing. This module enumerates a grid of delay assignments for the
+scenario's links and re-runs the scenario under each, so the claim can be
+checked across the whole (bounded) timing space — and, conversely, so
+ablations can *search* for the timing that exhibits a violation.
+
+Usage::
+
+    def build(delays):
+        ...construct systems using delays["slow-link"], delays["bridge"]...
+        return scenario_result
+
+    outcome = sweep_timings(build, ["slow-link", "bridge"], [0.5, 5.0, 25.0])
+    assert outcome.all_ok
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+from repro.checker import check_causal
+from repro.checker.report import CheckResult
+from repro.memory.history import History
+from repro.workloads.scenarios import ScenarioResult, run_until_quiescent
+
+ScenarioBuilder = Callable[[dict[str, float]], ScenarioResult]
+HistorySelector = Callable[[ScenarioResult], History]
+
+
+@dataclass
+class SweepOutcome:
+    """Aggregate result of one timing sweep."""
+
+    total: int = 0
+    ok_count: int = 0
+    violations: list[tuple[dict[str, float], CheckResult]] = field(default_factory=list)
+
+    @property
+    def all_ok(self) -> bool:
+        return self.ok_count == self.total
+
+    @property
+    def violation_rate(self) -> float:
+        if self.total == 0:
+            return 0.0
+        return 1.0 - self.ok_count / self.total
+
+    def first_violation(self) -> Optional[tuple[dict[str, float], CheckResult]]:
+        return self.violations[0] if self.violations else None
+
+    def summary(self) -> str:
+        return (
+            f"{self.ok_count}/{self.total} timing assignments consistent "
+            f"({self.violation_rate:.0%} violations)"
+        )
+
+
+def sweep_timings(
+    builder: ScenarioBuilder,
+    link_names: Sequence[str],
+    delay_choices: Sequence[float],
+    checker: Callable[[History], CheckResult] = check_causal,
+    select_history: Optional[HistorySelector] = None,
+    limit: Optional[int] = None,
+    max_events: int = 2_000_000,
+) -> SweepOutcome:
+    """Run *builder* under every assignment of *delay_choices* to
+    *link_names* (the full cartesian grid, optionally capped at *limit*
+    assignments) and check each run's computation.
+
+    By default the global computation alpha^T is checked for causality;
+    pass *checker* / *select_history* to override.
+    """
+    selector = select_history or (lambda result: result.global_history)
+    outcome = SweepOutcome()
+    assignments = itertools.product(delay_choices, repeat=len(link_names))
+    for count, combo in enumerate(assignments):
+        if limit is not None and count >= limit:
+            break
+        delays = dict(zip(link_names, combo))
+        result = builder(delays)
+        run_until_quiescent(result.sim, result.systems, max_events=max_events)
+        verdict = checker(selector(result))
+        outcome.total += 1
+        if verdict.ok:
+            outcome.ok_count += 1
+        else:
+            outcome.violations.append((delays, verdict))
+    return outcome
+
+
+__all__ = ["sweep_timings", "SweepOutcome", "ScenarioBuilder"]

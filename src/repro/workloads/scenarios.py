@@ -1,0 +1,268 @@
+"""Canonical scenarios from the paper, plus reusable run harnesses.
+
+* :func:`section3_counterexample` — the §3 example motivating the IS
+  read: without it, value ``u`` (overwriting ``v``) can be propagated
+  back with no causal tie to ``v``, and a process in the originating
+  system reads ``u`` then ``v`` — violating causality of S^T.
+* :func:`lemma1_scenario` — Property 1 / Lemma 1: a non-causal-updating
+  MCS protocol propagates causally ordered writes out of order under
+  IS-protocol 1, and in order under IS-protocol 2.
+* :func:`build_interconnected` / :func:`run_until_quiescent` — the
+  generic harness used by the integration tests and benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator, Optional, Sequence
+
+from repro.errors import SimulationError
+from repro.interconnect.topology import Interconnection, interconnect
+from repro.memory.history import History
+from repro.memory.program import Command, Read, Sleep, Write
+from repro.memory.recorder import HistoryRecorder
+from repro.memory.system import DSMSystem
+from repro.protocols import base as protocol_base
+from repro.sim.core import Simulator
+from repro.workloads.generator import WorkloadSpec, populate_system
+from repro.workloads.values import ValueFactory
+
+
+@dataclass
+class ScenarioResult:
+    """Everything a test or bench needs from one scenario run."""
+
+    sim: Simulator
+    systems: list[DSMSystem]
+    interconnection: Optional[Interconnection]
+    recorder: HistoryRecorder
+
+    @property
+    def history(self) -> History:
+        return self.recorder.history()
+
+    @property
+    def global_history(self) -> History:
+        """The paper's alpha^T: IS-process operations excluded."""
+        return self.recorder.history().without_interconnect()
+
+    def system_history(self, name: str) -> History:
+        """The paper's alpha^k for the named system."""
+        return self.recorder.history().for_system(name)
+
+
+def run_until_quiescent(
+    sim: Simulator,
+    systems: Sequence[DSMSystem],
+    max_events: int = 2_000_000,
+) -> None:
+    """Drain the simulation and verify every program ran to completion."""
+    sim.run(max_events=max_events)
+    if sim.pending:
+        raise SimulationError(f"simulation did not quiesce within {max_events} events")
+    for system in systems:
+        system.check_quiescent()
+
+
+def poll_until(
+    var: str,
+    expected: Any,
+    then: Sequence[Command],
+    poll_interval: float = 1.0,
+    max_polls: int = 200,
+) -> Iterator[Command]:
+    """Generator program: read *var* until it returns *expected*, then run
+    the *then* commands. Gives up silently after *max_polls* attempts."""
+    for _ in range(max_polls):
+        seen = yield Read(var)
+        if seen == expected:
+            break
+        yield Sleep(poll_interval)
+    else:
+        return
+    for command in then:
+        yield command
+
+
+def build_interconnected(
+    protocol_names: Sequence[str],
+    spec: WorkloadSpec,
+    topology: str = "star",
+    edges: Optional[Sequence[tuple[int, int]]] = None,
+    seed: int = 0,
+    intra_delay: float = 1.0,
+    inter_delay: float = 1.0,
+    shared: bool = True,
+    read_before_send: bool = True,
+    use_pre_update: Optional[bool] = None,
+) -> ScenarioResult:
+    """Build m systems (one protocol name each), populate random workloads,
+    and interconnect them as a tree. Does not run the simulation."""
+    sim = Simulator()
+    recorder = HistoryRecorder()
+    values = ValueFactory()
+    systems = []
+    for index, name in enumerate(protocol_names):
+        system = DSMSystem(
+            sim,
+            name=f"S{index}",
+            protocol=protocol_base.get(name),
+            recorder=recorder,
+            seed=seed + index,
+            default_delay=intra_delay,
+        )
+        populate_system(system, spec, values=values, seed=seed + 100 * index)
+        systems.append(system)
+    connection: Optional[Interconnection] = None
+    if len(systems) > 1:
+        connection = interconnect(
+            systems,
+            edges=edges,
+            topology=topology,
+            delay=inter_delay,
+            shared=shared,
+            read_before_send=read_before_send,
+            use_pre_update=use_pre_update,
+            seed=seed,
+        )
+    return ScenarioResult(sim=sim, systems=systems, interconnection=connection, recorder=recorder)
+
+
+def section3_counterexample(read_before_send: bool, seed: int = 0) -> ScenarioResult:
+    """The §3 motivating example (experiment E8).
+
+    S0 runs a causal protocol with *precise* causal contexts (write
+    timestamps cover only what the writer actually read or wrote) and a
+    slow internal link from the writer to a distant reader. S1 overwrites
+    the propagated value. With ``read_before_send=False`` the overwrite
+    returns to S0 causally untethered and the distant reader observes
+    ``u`` before ``v`` — exactly the violation the paper describes.
+    """
+    sim = Simulator()
+    recorder = HistoryRecorder()
+    spec = protocol_base.get("precise-causal")
+    s0 = DSMSystem(sim, "S0", spec, recorder=recorder, seed=seed, default_delay=1.0)
+    s1 = DSMSystem(sim, "S1", protocol_base.get("vector-causal"), recorder=recorder, seed=seed + 1)
+
+    writer = s0.add_application(
+        "S0/writer", [Sleep(1.0), Write("x", "v")], start_delay=0.0
+    )
+    reader_program: list[Command] = []
+    for _ in range(18):
+        reader_program.append(Read("x"))
+        reader_program.append(Sleep(3.0))
+    reader = s0.add_application("S0/reader", reader_program, start_delay=5.0)
+    # The writer's updates reach the distant reader very late.
+    s0.network.set_delay(writer.mcs.name, reader.mcs.name, 40.0)
+
+    s1.add_application(
+        "S1/overwriter",
+        poll_until("x", "v", then=[Write("x", "u")], poll_interval=1.0),
+        start_delay=0.0,
+    )
+    connection = interconnect(
+        [s0, s1], topology="chain", delay=1.0, read_before_send=read_before_send, seed=seed
+    )
+    return ScenarioResult(sim=sim, systems=[s0, s1], interconnection=connection, recorder=recorder)
+
+
+def lemma1_scenario(use_pre_update: bool, lag_seed: int = 0, seed: int = 0) -> ScenarioResult:
+    """Property 1 / Lemma 1 (experiment E9).
+
+    S0 runs the delayed-apply protocol (no Causal Updating): causally
+    ordered writes ``w(x)v -> w(y)u`` may hit the IS replica inverted.
+    Under IS-protocol 1 (``use_pre_update=False``) the inversion leaks to
+    S1 whose reader sees ``u`` without ``v``; under IS-protocol 2 the
+    pre-update reads force causal application order and S^T stays causal.
+    """
+    sim = Simulator()
+    recorder = HistoryRecorder()
+    delayed = protocol_base.get("delayed-causal").with_options(max_lag=6.0, lag_seed=lag_seed)
+    s0 = DSMSystem(sim, "S0", delayed, recorder=recorder, seed=seed, default_delay=1.0)
+    s1 = DSMSystem(sim, "S1", protocol_base.get("vector-causal"), recorder=recorder, seed=seed + 1)
+
+    s0.add_application("S0/writerA", [Sleep(1.0), Write("x", "v")])
+    s0.add_application(
+        "S0/writerB",
+        poll_until("x", "v", then=[Write("y", "u")], poll_interval=0.5),
+    )
+
+    def observer():
+        for _ in range(120):
+            seen_y = yield Read("y")
+            if seen_y == "u":
+                yield Read("x")
+                return
+            yield Sleep(0.5)
+
+    s1.add_application("S1/observer", observer())
+    connection = interconnect(
+        [s0, s1],
+        topology="chain",
+        delay=0.5,
+        use_pre_update=use_pre_update,
+        seed=seed,
+    )
+    return ScenarioResult(sim=sim, systems=[s0, s1], interconnection=connection, recorder=recorder)
+
+
+def fifo_causality_violation(seed: int = 0) -> ScenarioResult:
+    """Deterministic causality violation of the FIFO-apply protocol.
+
+    The classic transitive race: A writes ``x``, B reads it and writes
+    ``y``, C (far from A) sees ``y`` before ``x``. PRAM holds — each
+    process's writes are seen in order — but causality does not, which is
+    what separates the two checkers in the negative-control tests.
+    """
+    sim = Simulator()
+    recorder = HistoryRecorder()
+    system = DSMSystem(
+        sim, "S0", protocol_base.get("fifo-apply"), recorder=recorder, seed=seed, default_delay=1.0
+    )
+    writer = system.add_application("A", [Sleep(1.0), Write("x", "1")])
+    system.add_application("B", poll_until("x", "1", then=[Write("y", "2")], poll_interval=0.5))
+
+    def observer() -> Iterator[Command]:
+        for _ in range(100):
+            seen = yield Read("y")
+            if seen == "2":
+                yield Read("x")
+                return
+            yield Sleep(0.5)
+
+    observer_app = system.add_application("C", observer())
+    system.network.set_delay(writer.mcs.name, observer_app.mcs.name, 50.0)
+    return ScenarioResult(sim=sim, systems=[system], interconnection=None, recorder=recorder)
+
+
+def scrambled_pram_violation(lag_seed: int = 2, seed: int = 0) -> ScenarioResult:
+    """A PRAM violation of the scrambled-apply protocol.
+
+    A writes ``x`` twice in program order; the scrambled lags can apply
+    the two updates inverted at the observer's replica, whose successive
+    reads then see the writes out of the writer's program order. Whether
+    the inversion happens depends on *lag_seed*; seed 2 exhibits it.
+    """
+    sim = Simulator()
+    recorder = HistoryRecorder()
+    spec = protocol_base.get("scrambled-apply").with_options(max_lag=8.0, lag_seed=lag_seed)
+    system = DSMSystem(sim, "S0", spec, recorder=recorder, seed=seed, default_delay=1.0)
+    system.add_application("A", [Sleep(1.0), Write("x", "1"), Write("x", "2")])
+    program: list[Command] = []
+    for _ in range(12):
+        program.append(Read("x"))
+        program.append(Sleep(1.0))
+    system.add_application("C", program)
+    return ScenarioResult(sim=sim, systems=[system], interconnection=None, recorder=recorder)
+
+
+__all__ = [
+    "ScenarioResult",
+    "run_until_quiescent",
+    "poll_until",
+    "build_interconnected",
+    "section3_counterexample",
+    "lemma1_scenario",
+    "fifo_causality_violation",
+    "scrambled_pram_violation",
+]

@@ -1,0 +1,29 @@
+"""Unique value generation.
+
+The paper assumes each value is written at most once per variable (§2);
+the whole reads-from machinery of the checkers rests on it. A
+:class:`ValueFactory` hands out globally unique values so workloads can't
+violate the assumption by accident.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+
+class ValueFactory:
+    """Produces globally unique write values like ``"p0.3"``."""
+
+    def __init__(self, prefix: str = "v") -> None:
+        self._prefix = prefix
+        self._counter = itertools.count()
+
+    def next(self, tag: str = "") -> str:
+        """A fresh value; *tag* makes it self-describing in traces."""
+        number = next(self._counter)
+        if tag:
+            return f"{self._prefix}.{tag}.{number}"
+        return f"{self._prefix}.{number}"
+
+
+__all__ = ["ValueFactory"]

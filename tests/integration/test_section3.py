@@ -1,0 +1,51 @@
+"""E8: the §3 counterexample — the IS read step is what makes the
+interconnection sound."""
+
+from repro.checker import check_causal, check_causal_by_views
+from repro.workloads.scenarios import run_until_quiescent, section3_counterexample
+from tests.helpers import values_of
+
+
+class TestSection3Counterexample:
+    def test_with_read_step_the_union_is_causal(self):
+        result = section3_counterexample(read_before_send=True)
+        run_until_quiescent(result.sim, result.systems)
+        verdict = check_causal(result.global_history)
+        assert verdict.ok, verdict.summary()
+
+    def test_without_read_step_causality_is_violated(self):
+        result = section3_counterexample(read_before_send=False)
+        run_until_quiescent(result.sim, result.systems)
+        verdict = check_causal(result.global_history)
+        assert not verdict.ok
+
+    def test_violation_is_the_papers_u_before_v_pattern(self):
+        result = section3_counterexample(read_before_send=False)
+        run_until_quiescent(result.sim, result.systems)
+        reads = values_of(result.global_history, "S0/reader", "x")
+        cleaned = [value for value in reads if value is not None]
+        # The §3 pattern: the reader in the originating system observes the
+        # overwrite u before the original value v.
+        assert "u" in cleaned and "v" in cleaned
+        assert cleaned.index("u") < cleaned.index("v")
+
+    def test_violating_process_is_the_distant_reader(self):
+        result = section3_counterexample(read_before_send=False)
+        run_until_quiescent(result.sim, result.systems)
+        verdict = check_causal(result.global_history)
+        assert any(violation.process == "S0/reader" for violation in verdict.violations)
+
+    def test_view_search_agrees_with_fast_checker(self):
+        for read_before_send in (True, False):
+            result = section3_counterexample(read_before_send=read_before_send)
+            run_until_quiescent(result.sim, result.systems)
+            history = result.global_history
+            assert check_causal(history).ok == check_causal_by_views(history).ok
+
+    def test_each_system_is_locally_causal_either_way(self):
+        # The violation is a property of the *union*: both subsystems stay
+        # causal even when the ablated IS-protocol breaks S^T.
+        result = section3_counterexample(read_before_send=False)
+        run_until_quiescent(result.sim, result.systems)
+        assert check_causal(result.system_history("S0")).ok
+        assert check_causal(result.system_history("S1")).ok

@@ -1,0 +1,111 @@
+"""Bounded timing exploration of the paper's claims.
+
+Theorem 1 quantifies over *all* computations; these tests sweep a grid of
+delay assignments (a bounded approximation of all timings) and assert the
+claim under every assignment — and that the E8 ablation's violation is a
+*timing* phenomenon the sweep can hunt down.
+"""
+
+from repro.interconnect.topology import interconnect
+from repro.memory.program import Command, Read, Sleep, Write
+from repro.memory.recorder import HistoryRecorder
+from repro.memory.system import DSMSystem
+from repro.protocols import get
+from repro.sim.core import Simulator
+from repro.workloads.fuzz import sweep_timings
+from repro.workloads.scenarios import ScenarioResult, poll_until
+
+
+def build_triangle(delays, read_before_send=True):
+    """The §3 shape with three tunable delays: the slow intra-system link,
+    the bridge, and the overwriter's system delay."""
+    sim = Simulator()
+    recorder = HistoryRecorder()
+    s0 = DSMSystem(sim, "S0", get("precise-causal"), recorder=recorder, default_delay=1.0)
+    s1 = DSMSystem(
+        sim, "S1", get("vector-causal"), recorder=recorder,
+        default_delay=delays.get("overwriter-lan", 1.0), seed=1,
+    )
+    writer = s0.add_application("S0/writer", [Sleep(1.0), Write("x", "v")])
+    reader_program: list[Command] = []
+    for _ in range(14):
+        reader_program.append(Read("x"))
+        reader_program.append(Sleep(4.0))
+    reader = s0.add_application("S0/reader", reader_program, start_delay=2.0)
+    s0.network.set_delay(writer.mcs.name, reader.mcs.name, delays.get("slow-link", 30.0))
+    s1.add_application(
+        "S1/overwriter",
+        poll_until("x", "v", then=[Write("x", "u")], poll_interval=1.0),
+    )
+    interconnect(
+        [s0, s1], topology="chain", delay=delays.get("bridge", 1.0), read_before_send=read_before_send
+    )
+    return ScenarioResult(sim=sim, systems=[s0, s1], interconnection=None, recorder=recorder)
+
+
+LINKS = ["slow-link", "bridge", "overwriter-lan"]
+CHOICES = [0.5, 4.0, 30.0]
+
+
+class TestTheoremAcrossTimings:
+    def test_with_read_step_causal_under_all_27_timings(self):
+        outcome = sweep_timings(
+            lambda delays: build_triangle(delays, read_before_send=True),
+            LINKS,
+            CHOICES,
+        )
+        assert outcome.total == 27
+        assert outcome.all_ok, outcome.summary()
+
+    def test_ablation_violations_are_timing_dependent(self):
+        outcome = sweep_timings(
+            lambda delays: build_triangle(delays, read_before_send=False),
+            LINKS,
+            CHOICES,
+        )
+        # The §3 race needs the slow link to actually be slow: some
+        # assignments violate, others do not.
+        assert 0 < outcome.violation_rate < 1, outcome.summary()
+        delays, verdict = outcome.first_violation()
+        assert delays["slow-link"] == max(CHOICES)
+
+    def test_violating_assignment_is_reported(self):
+        outcome = sweep_timings(
+            lambda delays: build_triangle(delays, read_before_send=False),
+            LINKS,
+            CHOICES,
+        )
+        for delays, verdict in outcome.violations:
+            assert not verdict.ok
+            assert verdict.violations
+
+    def test_limit_caps_the_grid(self):
+        outcome = sweep_timings(
+            lambda delays: build_triangle(delays, read_before_send=True),
+            LINKS,
+            CHOICES,
+            limit=5,
+        )
+        assert outcome.total == 5
+
+
+class TestSweepMachinery:
+    def test_summary_string(self):
+        outcome = sweep_timings(
+            lambda delays: build_triangle(delays, read_before_send=True),
+            ["bridge"],
+            [1.0, 10.0],
+        )
+        assert "2/2" in outcome.summary()
+
+    def test_custom_checker_and_selector(self):
+        from repro.checker import check_pram
+
+        outcome = sweep_timings(
+            lambda delays: build_triangle(delays, read_before_send=True),
+            ["bridge"],
+            [1.0],
+            checker=check_pram,
+            select_history=lambda result: result.system_history("S1"),
+        )
+        assert outcome.all_ok

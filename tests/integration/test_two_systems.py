@@ -1,0 +1,107 @@
+"""Theorem 1 (E6): the union of two causal systems under the IS-protocols
+is causal — across protocol pairings and random workloads."""
+
+import pytest
+
+from repro.checker import check_causal
+from repro.workloads import WorkloadSpec, build_interconnected
+from repro.workloads.scenarios import run_until_quiescent
+
+CAUSAL_PROTOCOLS = [
+    "vector-causal",
+    "parametrized-causal",
+    "aw-sequential",  # sequential is causal (§1.1)
+    "precise-causal",
+    "delayed-causal",  # IS-protocol 2 side
+]
+
+SPEC = WorkloadSpec(processes=3, ops_per_process=6, write_ratio=0.5)
+
+
+class TestTheorem1:
+    @pytest.mark.parametrize("left", CAUSAL_PROTOCOLS)
+    @pytest.mark.parametrize("right", ["vector-causal", "parametrized-causal"])
+    def test_global_computation_is_causal(self, left, right):
+        result = build_interconnected([left, right], SPEC, seed=11)
+        run_until_quiescent(result.sim, result.systems)
+        verdict = check_causal(result.global_history)
+        assert verdict.ok, verdict.summary()
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_many_seeds_vector_vector(self, seed):
+        result = build_interconnected(["vector-causal", "vector-causal"], SPEC, seed=seed)
+        run_until_quiescent(result.sim, result.systems)
+        assert check_causal(result.global_history).ok
+
+    def test_per_system_computations_also_causal(self):
+        # alpha^k (IS-process operations included) must be causal too:
+        # the proof of Theorem 1 builds the global views from the
+        # per-system causal views.
+        result = build_interconnected(["vector-causal", "parametrized-causal"], SPEC, seed=5)
+        run_until_quiescent(result.sim, result.systems)
+        for name in ("S0", "S1"):
+            verdict = check_causal(result.system_history(name))
+            assert verdict.ok, f"{name}: {verdict.summary()}"
+
+    def test_every_write_reaches_both_systems(self):
+        result = build_interconnected(
+            ["vector-causal", "vector-causal"],
+            WorkloadSpec(processes=2, ops_per_process=4, write_ratio=1.0),
+            seed=2,
+        )
+        run_until_quiescent(result.sim, result.systems)
+        writes = result.global_history.writes()
+        for system in result.systems:
+            for app in system.app_processes:
+                for write in writes:
+                    # Every replica eventually stores some write per var;
+                    # spot-check that foreign values are present at all.
+                    pass
+        s0_values = {
+            write.value for write in writes if write.system == "S0"
+        }
+        # Each S0-originated value was written into S1 by its IS-process.
+        s1_propagated = {
+            op.value
+            for op in result.system_history("S1")
+            if op.is_write and op.is_interconnect
+        }
+        assert s0_values <= s1_propagated
+
+    def test_interconnect_ops_excluded_from_global(self):
+        result = build_interconnected(["vector-causal", "vector-causal"], SPEC, seed=3)
+        run_until_quiescent(result.sim, result.systems)
+        assert all(not op.is_interconnect for op in result.global_history)
+        assert any(op.is_interconnect for op in result.history)
+
+    def test_bidirectional_flow(self):
+        result = build_interconnected(
+            ["vector-causal", "vector-causal"],
+            WorkloadSpec(processes=2, ops_per_process=5, write_ratio=0.8),
+            seed=9,
+        )
+        run_until_quiescent(result.sim, result.systems)
+        bridge = result.interconnection.bridges[0]
+        assert bridge.pairs_a_to_b > 0
+        assert bridge.pairs_b_to_a > 0
+
+
+class TestReplicaConvergence:
+    def test_vector_pair_converges(self):
+        result = build_interconnected(
+            ["vector-causal", "vector-causal"],
+            WorkloadSpec(processes=2, ops_per_process=4, write_ratio=1.0, variables=("x",)),
+            seed=4,
+        )
+        run_until_quiescent(result.sim, result.systems)
+        finals = set()
+        for system in result.systems:
+            for app in system.app_processes:
+                finals.add(app.mcs.local_value("x"))
+        # Vector-clock causal memory applies concurrent writes in
+        # (possibly different) arrival orders, so convergence is not
+        # guaranteed in theory — but the propagation pattern here is
+        # serialised through the IS channel; verify every replica holds
+        # *some* written value.
+        written = {op.value for op in result.global_history.writes_on("x")}
+        assert finals <= written

@@ -1,0 +1,95 @@
+"""Property-based tests for FIFO channels and the event kernel."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.channel import (
+    PeriodicAvailability,
+    ReliableFifoChannel,
+    UniformDelay,
+    UpWindows,
+)
+from repro.sim.core import Simulator
+
+
+@given(
+    send_times=st.lists(st.floats(0.0, 100.0), min_size=1, max_size=30),
+    delay_high=st.floats(0.1, 20.0),
+    seed=st.integers(0, 1000),
+)
+@settings(max_examples=60, deadline=None)
+def test_fifo_order_always_preserved(send_times, delay_high, seed):
+    sim = Simulator()
+    received = []
+    channel = ReliableFifoChannel(
+        sim,
+        deliver=received.append,
+        delay=UniformDelay(0.0, delay_high),
+        rng=random.Random(seed),
+    )
+    for index, time in enumerate(sorted(send_times)):
+        sim.schedule(time, lambda index=index: channel.send(index))
+    sim.run()
+    assert received == list(range(len(send_times)))
+
+
+@given(
+    send_times=st.lists(st.floats(0.0, 500.0), min_size=1, max_size=20),
+    period=st.floats(10.0, 200.0),
+    up_fraction=st.floats(0.05, 0.9),
+    seed=st.integers(0, 100),
+)
+@settings(max_examples=60, deadline=None)
+def test_reliability_under_dialup(send_times, period, up_fraction, seed):
+    """Every message is delivered exactly once, in order, whatever the
+    availability schedule — the paper's reliable-FIFO assumption."""
+    sim = Simulator()
+    received = []
+    channel = ReliableFifoChannel(
+        sim,
+        deliver=received.append,
+        delay=UniformDelay(0.0, 5.0),
+        availability=PeriodicAvailability(period=period, up_fraction=up_fraction),
+        rng=random.Random(seed),
+    )
+    for index, time in enumerate(sorted(send_times)):
+        sim.schedule(time, lambda index=index: channel.send(index))
+    sim.run()
+    assert received == list(range(len(send_times)))
+
+
+@given(
+    windows=st.lists(
+        st.tuples(st.floats(0, 1000), st.floats(0.1, 50.0)),
+        max_size=5,
+    ),
+    probe=st.floats(0, 2000),
+)
+@settings(max_examples=80, deadline=None)
+def test_up_windows_next_up_is_sound(windows, probe):
+    starts = sorted(start for start, _ in windows)
+    spans = []
+    cursor = 0.0
+    for start, width in sorted(windows):
+        begin = max(start, cursor)
+        spans.append((begin, begin + width))
+        cursor = begin + width + 0.001
+    schedule = UpWindows(windows=tuple(spans))
+    at = schedule.next_up(probe)
+    assert at >= probe
+    assert schedule.is_up(at)
+
+
+@given(
+    delays=st.lists(st.floats(0.0, 50.0), min_size=1, max_size=40),
+)
+@settings(max_examples=60, deadline=None)
+def test_event_kernel_monotone_time(delays):
+    sim = Simulator()
+    observed = []
+    for delay in delays:
+        sim.schedule(delay, lambda: observed.append(sim.now))
+    sim.run()
+    assert observed == sorted(observed)
+    assert len(observed) == len(delays)

@@ -1,0 +1,64 @@
+"""Property-based tests for vector clocks."""
+
+from hypothesis import given, strategies as st
+
+from repro.sim.clock import VectorClock
+
+entries = st.dictionaries(st.integers(0, 7), st.integers(0, 20), max_size=6)
+clocks = entries.map(VectorClock)
+
+
+@given(clocks, clocks)
+def test_merge_commutative(a, b):
+    assert a.merge(b) == b.merge(a)
+
+
+@given(clocks, clocks, clocks)
+def test_merge_associative(a, b, c):
+    assert a.merge(b).merge(c) == a.merge(b.merge(c))
+
+
+@given(clocks)
+def test_merge_idempotent(a):
+    assert a.merge(a) == a
+
+
+@given(clocks, clocks)
+def test_merge_is_least_upper_bound(a, b):
+    merged = a.merge(b)
+    assert merged.dominates(a) and merged.dominates(b)
+    # Least: decreasing any entry below max(a, b) loses domination.
+    for proc in merged.processes():
+        assert merged.get(proc) == max(a.get(proc), b.get(proc))
+
+
+@given(clocks, st.integers(0, 7))
+def test_increment_strictly_increases(clock, proc):
+    bumped = clock.increment(proc)
+    assert clock < bumped
+    assert bumped.get(proc) == clock.get(proc) + 1
+
+
+@given(clocks, clocks)
+def test_partial_order_antisymmetry(a, b):
+    if a.dominates(b) and b.dominates(a):
+        assert a == b
+
+
+@given(clocks, clocks, clocks)
+def test_partial_order_transitivity(a, b, c):
+    if a.dominates(b) and b.dominates(c):
+        assert a.dominates(c)
+
+
+@given(clocks, clocks)
+def test_trichotomy_of_comparisons(a, b):
+    relations = [a < b, b < a, a == b, a.concurrent_with(b)]
+    assert sum(relations) == 1
+
+
+@given(st.lists(clocks, max_size=5))
+def test_join_all_dominates_each(clock_list):
+    joined = VectorClock.join_all(clock_list)
+    for clock in clock_list:
+        assert joined.dominates(clock)

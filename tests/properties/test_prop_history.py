@@ -1,0 +1,92 @@
+"""Property-based invariants of History projections and the trace format."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.memory.history import History
+from repro.memory.operations import INITIAL_VALUE, Operation, OpKind
+from repro.trace import dumps_history, loads_history
+
+PROCS = ["A", "B", "C"]
+SYSTEMS = ["S0", "S1"]
+VARS = ["x", "y"]
+
+
+@st.composite
+def raw_histories(draw, max_ops=12):
+    count = draw(st.integers(0, max_ops))
+    operations = []
+    seqs = {}
+    next_value = 0
+    for position in range(count):
+        proc = draw(st.sampled_from(PROCS))
+        seq = seqs.get(proc, 0)
+        seqs[proc] = seq + 1
+        is_write = draw(st.booleans())
+        if is_write:
+            next_value += 1
+            value = next_value
+        else:
+            value = draw(st.sampled_from([INITIAL_VALUE, next_value or INITIAL_VALUE]))
+        operations.append(
+            Operation(
+                op_id=position,
+                kind=OpKind.WRITE if is_write else OpKind.READ,
+                proc=proc,
+                var=draw(st.sampled_from(VARS)),
+                value=value,
+                seq=seq,
+                system=draw(st.sampled_from(SYSTEMS)),
+                issue_time=float(position),
+                response_time=float(position) + draw(st.floats(0, 3)),
+                is_interconnect=draw(st.booleans()),
+            )
+        )
+    return History(operations)
+
+
+@given(raw_histories())
+@settings(max_examples=120, deadline=None)
+def test_projection_partition_laws(history):
+    # System projections partition the operations.
+    total = sum(len(history.for_system(system)) for system in SYSTEMS)
+    assert total == len(history)
+    # alpha^T plus the interconnect ops partition them too.
+    interconnect_count = sum(1 for op in history if op.is_interconnect)
+    assert len(history.without_interconnect()) + interconnect_count == len(history)
+
+
+@given(raw_histories())
+@settings(max_examples=120, deadline=None)
+def test_projection_idempotent_and_commutative(history):
+    a = history.without_interconnect().for_system("S0")
+    b = history.for_system("S0").without_interconnect()
+    assert list(a) == list(b)
+    assert list(a.without_interconnect()) == list(a)
+
+
+@given(raw_histories())
+@settings(max_examples=120, deadline=None)
+def test_per_process_program_order_preserved_by_filters(history):
+    filtered = history.for_system("S0")
+    for proc in filtered.processes():
+        seqs = [op.seq for op in filtered.of_process(proc)]
+        assert seqs == sorted(seqs)
+
+
+@given(raw_histories())
+@settings(max_examples=100, deadline=None)
+def test_trace_round_trip_is_identity(history):
+    restored = loads_history(dumps_history(history))
+    assert list(restored) == list(history)
+
+
+@given(raw_histories())
+@settings(max_examples=100, deadline=None)
+def test_projection_of_process_is_all_writes_plus_own_reads(history):
+    for proc in PROCS:
+        projection = history.projection(proc)
+        for op in history:
+            if op.is_write:
+                assert any(other.op_id == op.op_id for other in projection)
+        for op in projection:
+            assert op.is_write or op.proc == proc

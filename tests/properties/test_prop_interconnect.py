@@ -1,0 +1,101 @@
+"""Property-based Theorem 1 / Corollary 1: random systems, random
+protocols, random tree shapes, random timings — the union is always causal."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.checker import check_causal
+from repro.interconnect.topology import validate_tree
+from repro.workloads import WorkloadSpec, build_interconnected
+from repro.workloads.scenarios import run_until_quiescent
+
+CAUSAL_PROTOCOLS = [
+    "vector-causal",
+    "parametrized-causal",
+    "aw-sequential",
+    "precise-causal",
+    "delayed-causal",
+    "partial-causal",
+    "invalidation-causal",
+    "hybrid",
+    "lamport-sequential",
+]
+
+small_specs = st.builds(
+    WorkloadSpec,
+    processes=st.integers(1, 3),
+    ops_per_process=st.integers(2, 5),
+    variables=st.just(("x", "y")),
+    write_ratio=st.floats(0.3, 0.8),
+    max_think=st.floats(0.0, 2.0),
+    max_stagger=st.floats(0.0, 2.0),
+)
+
+
+@st.composite
+def random_trees(draw, max_systems=4):
+    count = draw(st.integers(2, max_systems))
+    # Random recursive tree: node i attaches to a uniformly chosen
+    # earlier node — always a tree, never a cycle.
+    edges = [
+        (draw(st.integers(0, index - 1)), index) for index in range(1, count)
+    ]
+    return count, edges
+
+
+@given(
+    tree=random_trees(),
+    spec=small_specs,
+    seed=st.integers(0, 10_000),
+    protocols=st.lists(st.sampled_from(CAUSAL_PROTOCOLS), min_size=4, max_size=4),
+    shared=st.booleans(),
+)
+@settings(max_examples=25, deadline=None)
+def test_random_tree_of_causal_systems_is_causal(tree, spec, seed, protocols, shared):
+    count, edges = tree
+    validate_tree(count, edges)
+    result = build_interconnected(
+        protocols[:count],
+        spec,
+        edges=edges,
+        seed=seed,
+        shared=shared,
+    )
+    run_until_quiescent(result.sim, result.systems)
+    verdict = check_causal(result.global_history)
+    assert verdict.ok, verdict.summary()
+
+
+@given(
+    tree=random_trees(),
+    spec=small_specs,
+    seed=st.integers(0, 10_000),
+)
+@settings(max_examples=15, deadline=None)
+def test_per_system_computations_causal(tree, spec, seed):
+    count, edges = tree
+    result = build_interconnected(
+        ["vector-causal"] * count, spec, edges=edges, seed=seed
+    )
+    run_until_quiescent(result.sim, result.systems)
+    for index in range(count):
+        verdict = check_causal(result.system_history(f"S{index}"))
+        assert verdict.ok, f"S{index}: {verdict.summary()}"
+
+
+@given(
+    spec=small_specs,
+    seed=st.integers(0, 10_000),
+    inter_delay=st.floats(0.1, 20.0),
+    intra_delay=st.floats(0.1, 10.0),
+)
+@settings(max_examples=25, deadline=None)
+def test_two_systems_any_delays(spec, seed, inter_delay, intra_delay):
+    result = build_interconnected(
+        ["vector-causal", "parametrized-causal"],
+        spec,
+        seed=seed,
+        intra_delay=intra_delay,
+        inter_delay=inter_delay,
+    )
+    run_until_quiescent(result.sim, result.systems)
+    assert check_causal(result.global_history).ok

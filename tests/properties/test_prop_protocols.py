@@ -1,0 +1,160 @@
+"""Property-based protocol soundness: every causal protocol produces
+causal computations under arbitrary random workloads and timings."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.checker import check_cache, check_causal, check_pram, check_sequential
+from repro.memory.recorder import HistoryRecorder
+from repro.memory.system import DSMSystem
+from repro.protocols import get
+from repro.sim.core import Simulator
+from repro.workloads import WorkloadSpec, populate_system
+from repro.workloads.scenarios import run_until_quiescent
+
+workload_specs = st.builds(
+    WorkloadSpec,
+    processes=st.integers(2, 4),
+    ops_per_process=st.integers(2, 8),
+    variables=st.sampled_from([("x",), ("x", "y"), ("x", "y", "z")]),
+    write_ratio=st.floats(0.2, 0.9),
+    max_think=st.floats(0.0, 3.0),
+    max_stagger=st.floats(0.0, 3.0),
+)
+
+
+def run_one(protocol_name, spec, seed, options=None):
+    sim = Simulator()
+    recorder = HistoryRecorder()
+    protocol = get(protocol_name)
+    if options:
+        protocol = protocol.with_options(**options)
+    system = DSMSystem(sim, "S", protocol, recorder=recorder, seed=seed)
+    populate_system(system, spec, seed=seed)
+    run_until_quiescent(sim, [system])
+    return recorder.history()
+
+
+@given(spec=workload_specs, seed=st.integers(0, 10_000))
+@settings(max_examples=40, deadline=None)
+def test_vector_protocol_is_causal(spec, seed):
+    history = run_one("vector-causal", spec, seed)
+    verdict = check_causal(history)
+    assert verdict.ok, verdict.summary()
+
+
+@given(spec=workload_specs, seed=st.integers(0, 10_000))
+@settings(max_examples=40, deadline=None)
+def test_parametrized_causal_is_causal(spec, seed):
+    assert check_causal(run_one("parametrized-causal", spec, seed)).ok
+
+
+@given(
+    spec=workload_specs,
+    seed=st.integers(0, 10_000),
+    max_lag=st.floats(0.0, 12.0),
+)
+@settings(max_examples=40, deadline=None)
+def test_delayed_protocol_is_causal_despite_lag(spec, seed, max_lag):
+    history = run_one(
+        "delayed-causal", spec, seed, options={"max_lag": max_lag, "lag_seed": seed}
+    )
+    verdict = check_causal(history)
+    assert verdict.ok, verdict.summary()
+
+
+@given(spec=workload_specs, seed=st.integers(0, 10_000))
+@settings(max_examples=30, deadline=None)
+def test_partial_replication_is_causal(spec, seed):
+    factor = 1 + seed % 3
+    history = run_one(
+        "partial-causal", spec, seed, options={"replication_factor": factor}
+    )
+    verdict = check_causal(history)
+    assert verdict.ok, verdict.summary()
+
+
+@given(spec=workload_specs, seed=st.integers(0, 10_000))
+@settings(max_examples=30, deadline=None)
+def test_invalidation_protocol_is_causal(spec, seed):
+    history = run_one("invalidation-causal", spec, seed)
+    verdict = check_causal(history)
+    assert verdict.ok, verdict.summary()
+
+
+@given(spec=workload_specs, seed=st.integers(0, 10_000))
+@settings(max_examples=25, deadline=None)
+def test_hybrid_protocol_is_causal(spec, seed):
+    history = run_one("hybrid", spec, seed)
+    verdict = check_causal(history)
+    assert verdict.ok, verdict.summary()
+
+
+@given(spec=workload_specs, seed=st.integers(0, 10_000))
+@settings(max_examples=15, deadline=None)
+def test_lamport_sequential_is_sequential(spec, seed):
+    smaller = WorkloadSpec(
+        processes=min(spec.processes, 3),
+        ops_per_process=min(spec.ops_per_process, 5),
+        variables=spec.variables,
+        write_ratio=spec.write_ratio,
+        max_think=spec.max_think,
+        max_stagger=spec.max_stagger,
+    )
+    history = run_one("lamport-sequential", smaller, seed)
+    assert check_sequential(history).ok
+
+
+@given(spec=workload_specs, seed=st.integers(0, 10_000))
+@settings(max_examples=25, deadline=None)
+def test_causal_protocols_satisfy_session_guarantees(spec, seed):
+    from repro.checker import check_all_session_guarantees
+
+    history = run_one("vector-causal", spec, seed)
+    for name, verdict in check_all_session_guarantees(history).items():
+        assert verdict.ok, f"{name}: {verdict.summary()}"
+
+
+@given(spec=workload_specs, seed=st.integers(0, 10_000))
+@settings(max_examples=20, deadline=None)
+def test_sequential_protocol_is_sequential(spec, seed):
+    smaller = WorkloadSpec(
+        processes=min(spec.processes, 3),
+        ops_per_process=min(spec.ops_per_process, 5),
+        variables=spec.variables,
+        write_ratio=spec.write_ratio,
+        max_think=spec.max_think,
+        max_stagger=spec.max_stagger,
+    )
+    history = run_one("aw-sequential", smaller, seed)
+    assert check_sequential(history).ok
+
+
+@given(spec=workload_specs, seed=st.integers(0, 10_000))
+@settings(max_examples=20, deadline=None)
+def test_cache_protocol_is_cache_consistent(spec, seed):
+    smaller = WorkloadSpec(
+        processes=min(spec.processes, 3),
+        ops_per_process=min(spec.ops_per_process, 6),
+        variables=spec.variables,
+        write_ratio=spec.write_ratio,
+        max_think=spec.max_think,
+        max_stagger=spec.max_stagger,
+    )
+    history = run_one("parametrized-cache", smaller, seed)
+    assert check_cache(history).ok
+
+
+@given(spec=workload_specs, seed=st.integers(0, 10_000))
+@settings(max_examples=30, deadline=None)
+def test_fifo_protocol_is_at_least_pram(spec, seed):
+    smaller = WorkloadSpec(
+        processes=min(spec.processes, 3),
+        ops_per_process=min(spec.ops_per_process, 6),
+        variables=spec.variables,
+        write_ratio=spec.write_ratio,
+        max_think=spec.max_think,
+        max_stagger=spec.max_stagger,
+    )
+    history = run_one("fifo-apply", smaller, seed)
+    assert check_pram(history).ok

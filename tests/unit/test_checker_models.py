@@ -1,0 +1,143 @@
+"""Unit tests for the sequential, PRAM and cache checkers, and the strict
+inclusions between the models (sequential < causal < PRAM)."""
+
+from repro.checker import check_cache, check_causal, check_pram, check_sequential
+from repro.memory.operations import INITIAL_VALUE
+from tests.helpers import ops
+
+
+class TestSequential:
+    def test_simple_sequential(self):
+        history = ops(("A", "w", "x", 1), ("B", "r", "x", 1))
+        result = check_sequential(history)
+        assert result.ok
+        assert len(result.views["*"]) == 2
+
+    def test_dekker_race_not_sequential(self):
+        # Both processes read the initial value of the other's flag: the
+        # canonical non-SC outcome (yet perfectly causal).
+        history = ops(
+            ("A", "w", "x", 1),
+            ("A", "r", "y", INITIAL_VALUE),
+            ("B", "w", "y", 2),
+            ("B", "r", "x", INITIAL_VALUE),
+        )
+        assert not check_sequential(history).ok
+        assert check_causal(history).ok
+
+    def test_disagreeing_orders_not_sequential(self):
+        history = ops(
+            ("A", "w", "x", 1),
+            ("B", "w", "x", 2),
+            ("C", "r", "x", 1),
+            ("C", "r", "x", 2),
+            ("D", "r", "x", 2),
+            ("D", "r", "x", 1),
+        )
+        assert not check_sequential(history).ok
+        assert check_causal(history).ok
+
+    def test_empty_history(self):
+        assert check_sequential(ops()).ok
+
+    def test_thin_air(self):
+        assert not check_sequential(ops(("A", "r", "x", 3))).ok
+
+
+class TestPram:
+    def test_per_sender_order_respected(self):
+        history = ops(
+            ("A", "w", "x", 1),
+            ("A", "w", "x", 2),
+            ("B", "r", "x", 1),
+            ("B", "r", "x", 2),
+        )
+        assert check_pram(history).ok
+
+    def test_per_sender_order_violated(self):
+        history = ops(
+            ("A", "w", "x", 1),
+            ("A", "w", "x", 2),
+            ("B", "r", "x", 2),
+            ("B", "r", "x", 1),
+        )
+        assert not check_pram(history).ok
+
+    def test_causal_violation_can_be_pram_ok(self):
+        # The transitive race: PRAM holds, causality does not.
+        history = ops(
+            ("A", "w", "x", 1),
+            ("B", "r", "x", 1),
+            ("B", "w", "y", 2),
+            ("C", "r", "y", 2),
+            ("C", "r", "x", INITIAL_VALUE),
+        )
+        assert check_pram(history).ok
+        assert not check_causal(history).ok
+
+    def test_views_produced(self):
+        history = ops(("A", "w", "x", 1), ("B", "r", "x", 1))
+        result = check_pram(history)
+        assert "B" in result.views
+
+
+class TestCache:
+    def test_per_variable_sequential_ok(self):
+        # Per-variable orders may disagree across variables under cache
+        # consistency (this fails sequential).
+        history = ops(
+            ("A", "w", "x", 1),
+            ("A", "r", "y", INITIAL_VALUE),
+            ("B", "w", "y", 2),
+            ("B", "r", "x", INITIAL_VALUE),
+        )
+        assert check_cache(history).ok
+        assert not check_sequential(history).ok
+
+    def test_single_variable_disagreement_violates_cache(self):
+        history = ops(
+            ("A", "w", "x", 1),
+            ("B", "w", "x", 2),
+            ("C", "r", "x", 1),
+            ("C", "r", "x", 2),
+            ("D", "r", "x", 2),
+            ("D", "r", "x", 1),
+        )
+        assert not check_cache(history).ok
+
+    def test_empty_history(self):
+        assert check_cache(ops()).ok
+
+
+class TestModelHierarchy:
+    def test_sequential_implies_causal_implies_pram(self):
+        history = ops(
+            ("A", "w", "x", 1),
+            ("B", "r", "x", 1),
+            ("B", "w", "y", 2),
+            ("A", "r", "y", 2),
+        )
+        assert check_sequential(history).ok
+        assert check_causal(history).ok
+        assert check_pram(history).ok
+
+    def test_causal_does_not_imply_sequential(self):
+        history = ops(
+            ("A", "w", "x", 1),
+            ("A", "r", "y", INITIAL_VALUE),
+            ("B", "w", "y", 2),
+            ("B", "r", "x", INITIAL_VALUE),
+        )
+        assert check_causal(history).ok
+        assert not check_sequential(history).ok
+
+    def test_pram_does_not_imply_causal(self):
+        history = ops(
+            ("A", "w", "x", 1),
+            ("B", "r", "x", 1),
+            ("B", "w", "y", 2),
+            ("C", "r", "y", 2),
+            ("C", "r", "x", INITIAL_VALUE),
+        )
+        assert check_pram(history).ok
+        assert not check_causal(history).ok

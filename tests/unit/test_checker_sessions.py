@@ -1,0 +1,187 @@
+"""Unit tests for the session-guarantee checkers."""
+
+from repro.checker.sessions import (
+    check_all_session_guarantees,
+    check_monotonic_reads,
+    check_monotonic_writes,
+    check_read_your_writes,
+    check_writes_follow_reads,
+)
+from repro.memory.operations import INITIAL_VALUE
+from tests.helpers import ops
+
+
+class TestReadYourWrites:
+    def test_reading_own_write_ok(self):
+        assert check_read_your_writes(ops(("A", "w", "x", 1), ("A", "r", "x", 1))).ok
+
+    def test_missing_own_write_violates(self):
+        history = ops(("A", "w", "x", 1), ("A", "r", "x", INITIAL_VALUE))
+        result = check_read_your_writes(history)
+        assert not result.ok
+        assert result.violations[0].pattern == "ReadYourWrites"
+
+    def test_reading_causally_newer_value_ok(self):
+        history = ops(
+            ("A", "w", "x", 1),
+            ("B", "r", "x", 1),
+            ("B", "w", "x", 2),
+            ("A", "r", "x", 2),
+        )
+        assert check_read_your_writes(history).ok
+
+    def test_reading_concurrent_overwrite_allowed(self):
+        # B's write is concurrent with A's: a causal view may order it
+        # after A's own write, so reading it does not violate RYW.
+        history = ops(
+            ("A", "w", "x", 1),
+            ("B", "w", "x", 2),
+            ("A", "r", "x", 2),
+        )
+        assert check_read_your_writes(history).ok
+
+    def test_reading_causally_older_value_violates(self):
+        # A read B's write, overwrote it, then read B's (now causally
+        # older) value again: the own write went missing.
+        history = ops(
+            ("B", "w", "x", 1),
+            ("A", "r", "x", 1),
+            ("A", "w", "x", 2),
+            ("A", "r", "x", 1),
+        )
+        assert not check_read_your_writes(history).ok
+
+    def test_other_process_unconstrained(self):
+        history = ops(("A", "w", "x", 1), ("B", "r", "x", INITIAL_VALUE))
+        assert check_read_your_writes(history).ok
+
+
+class TestMonotonicReads:
+    def test_forward_reads_ok(self):
+        history = ops(
+            ("A", "w", "x", 1),
+            ("B", "r", "x", 1),
+            ("A", "w", "x", 2),  # hmm: A's second write causally follows the first
+            ("B", "r", "x", 2),
+        )
+        assert check_monotonic_reads(history).ok
+
+    def test_backwards_read_violates(self):
+        history = ops(
+            ("A", "w", "x", 1),
+            ("A", "w", "x", 2),
+            ("B", "r", "x", 2),
+            ("B", "r", "x", 1),
+        )
+        result = check_monotonic_reads(history)
+        assert not result.ok
+        assert result.violations[0].pattern == "MonotonicReads"
+
+    def test_back_to_initial_violates(self):
+        history = ops(
+            ("A", "w", "x", 1),
+            ("B", "r", "x", 1),
+            ("B", "r", "x", INITIAL_VALUE),
+        )
+        assert not check_monotonic_reads(history).ok
+
+    def test_flipping_between_concurrent_writes_allowed(self):
+        history = ops(
+            ("A", "w", "x", 1),
+            ("B", "w", "x", 2),
+            ("C", "r", "x", 1),
+            ("C", "r", "x", 2),
+            ("C", "r", "x", 1),
+        )
+        assert check_monotonic_reads(history).ok
+
+
+class TestMonotonicWrites:
+    def test_in_order_observation_ok(self):
+        history = ops(
+            ("A", "w", "x", 1),
+            ("A", "w", "x", 2),
+            ("B", "r", "x", 1),
+            ("B", "r", "x", 2),
+        )
+        assert check_monotonic_writes(history).ok
+
+    def test_out_of_order_observation_violates(self):
+        history = ops(
+            ("A", "w", "x", 1),
+            ("A", "w", "x", 2),
+            ("B", "r", "x", 2),
+            ("B", "r", "x", 1),
+        )
+        result = check_monotonic_writes(history)
+        assert not result.ok
+        assert result.violations[0].pattern == "MonotonicWrites"
+
+    def test_different_writers_not_constrained(self):
+        history = ops(
+            ("A", "w", "x", 1),
+            ("B", "w", "x", 2),
+            ("C", "r", "x", 2),
+            ("C", "r", "x", 1),
+        )
+        assert check_monotonic_writes(history).ok
+
+
+class TestWritesFollowReads:
+    def test_dependent_write_seen_after_source_ok(self):
+        history = ops(
+            ("A", "w", "x", 1),
+            ("B", "r", "x", 1),
+            ("B", "w", "x", 2),
+            ("C", "r", "x", 1),
+            ("C", "r", "x", 2),
+        )
+        assert check_writes_follow_reads(history).ok
+
+    def test_dependent_write_seen_before_source_violates(self):
+        history = ops(
+            ("A", "w", "x", 1),
+            ("B", "r", "x", 1),
+            ("B", "w", "x", 2),
+            ("C", "r", "x", 2),
+            ("C", "r", "x", 1),
+        )
+        result = check_writes_follow_reads(history)
+        assert not result.ok
+        assert result.violations[0].pattern == "WritesFollowReads"
+
+    def test_concurrent_writes_unconstrained(self):
+        history = ops(
+            ("A", "w", "x", 1),
+            ("B", "w", "x", 2),
+            ("C", "r", "x", 2),
+            ("C", "r", "x", 1),
+        )
+        assert check_writes_follow_reads(history).ok
+
+
+class TestLattice:
+    def test_causal_history_satisfies_all_guarantees(self):
+        history = ops(
+            ("A", "w", "x", 1),
+            ("A", "r", "x", 1),
+            ("B", "r", "x", 1),
+            ("B", "w", "y", 2),
+            ("C", "r", "y", 2),
+            ("C", "r", "x", 1),
+        )
+        results = check_all_session_guarantees(history)
+        assert all(result.ok for result in results.values())
+
+    def test_all_four_names_present(self):
+        results = check_all_session_guarantees(ops(("A", "w", "x", 1)))
+        assert set(results) == {
+            "read-your-writes",
+            "monotonic-reads",
+            "monotonic-writes",
+            "writes-follow-reads",
+        }
+
+    def test_thin_air_read_fails_everywhere(self):
+        results = check_all_session_guarantees(ops(("A", "r", "x", 5)))
+        assert not any(result.ok for result in results.values())

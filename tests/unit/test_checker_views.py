@@ -1,0 +1,125 @@
+"""Unit tests for the certificate-producing view search."""
+
+import pytest
+
+from repro.checker import check_causal_by_views, find_causal_view, search_legal_sequence
+from repro.checker.causal import causal_order
+from repro.checker.graph import Relation
+from repro.errors import CheckerError
+from repro.memory.operations import INITIAL_VALUE
+from tests.helpers import ops
+
+
+def is_legal(sequence):
+    """Check Definition 1 over a concrete operation sequence."""
+    store = {}
+    for op in sequence:
+        if op.is_write:
+            store[op.var] = op.value
+        else:
+            if store.get(op.var, INITIAL_VALUE) != op.value:
+                return False
+    return True
+
+
+class TestSearchLegalSequence:
+    def test_trivial_sequence(self):
+        history = ops(("A", "w", "x", 1), ("A", "r", "x", 1))
+        operations = list(history.operations)
+        order = Relation(2)
+        order.add(0, 1)
+        found = search_legal_sequence(operations, order)
+        assert found == operations
+
+    def test_respects_order_constraints(self):
+        history = ops(("A", "w", "x", 1), ("A", "w", "x", 2), ("B", "r", "x", 1))
+        operations = list(history.operations)
+        order = Relation(3)
+        order.add(0, 1)
+        found = search_legal_sequence(operations, order)
+        assert found is not None
+        assert is_legal(found)
+        assert found.index(operations[0]) < found.index(operations[1])
+
+    def test_unsatisfiable_returns_none(self):
+        # r(x)2 constrained before w(x)2 can never be legal.
+        history = ops(("A", "r", "x", 2), ("B", "w", "x", 2))
+        operations = list(history.operations)
+        order = Relation(2)
+        order.add(0, 1)
+        assert search_legal_sequence(operations, order) is None
+
+    def test_state_budget_enforced(self):
+        history = ops(*[("P%d" % index, "w", "v%d" % index, index) for index in range(12)])
+        operations = list(history.operations)
+        order = Relation(len(operations))
+        with pytest.raises(CheckerError, match="exceeded"):
+            # All-writes histories explode combinatorially with a tiny cap.
+            search_legal_sequence(operations, order, max_states=3)
+
+
+class TestFindCausalView:
+    def test_view_is_permutation_and_legal(self):
+        history = ops(
+            ("A", "w", "x", 1),
+            ("B", "r", "x", 1),
+            ("B", "w", "y", 2),
+            ("C", "r", "y", 2),
+            ("C", "r", "x", 1),
+        )
+        view = find_causal_view(history, "C")
+        assert view is not None
+        assert is_legal(view)
+        expected = {op.op_id for op in history.projection("C")}
+        assert {op.op_id for op in view} == expected
+
+    def test_view_preserves_causal_order(self):
+        history = ops(
+            ("A", "w", "x", 1),
+            ("B", "r", "x", 1),
+            ("B", "w", "y", 2),
+            ("C", "r", "y", 2),
+        )
+        view = find_causal_view(history, "C")
+        operations, order = causal_order(history)
+        positions = {op.op_id: position for position, op in enumerate(view)}
+        for a_index, a in enumerate(operations):
+            for b_index, b in enumerate(operations):
+                if a.op_id in positions and b.op_id in positions and order.has(a_index, b_index):
+                    assert positions[a.op_id] < positions[b.op_id]
+
+    def test_no_view_for_violation(self):
+        history = ops(
+            ("A", "w", "x", 1),
+            ("B", "r", "x", 1),
+            ("B", "w", "x", 2),
+            ("C", "r", "x", 2),
+            ("C", "r", "x", 1),
+        )
+        assert find_causal_view(history, "C") is None
+
+
+class TestCheckByViews:
+    def test_produces_views_for_reading_processes(self):
+        history = ops(("A", "w", "x", 1), ("B", "r", "x", 1))
+        result = check_causal_by_views(history)
+        assert result.ok
+        assert "B" in result.views
+        assert "A" not in result.views  # A has no reads: trivial view
+
+    def test_flags_violation_with_no_legal_view(self):
+        history = ops(
+            ("A", "w", "x", 1),
+            ("B", "r", "x", 1),
+            ("B", "w", "x", 2),
+            ("C", "r", "x", 2),
+            ("C", "r", "x", 1),
+        )
+        result = check_causal_by_views(history)
+        assert not result.ok
+        assert result.violations[0].pattern == "NoLegalView"
+
+    def test_thin_air_detected(self):
+        result = check_causal_by_views(ops(("A", "r", "x", 9)))
+        assert not result.ok
+        assert result.violations[0].pattern == "ThinAirRead"

@@ -1,0 +1,144 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestProtocols:
+    def test_lists_all_protocols(self, capsys):
+        assert main(["protocols"]) == 0
+        out = capsys.readouterr().out
+        for name in ("vector-causal", "aw-sequential", "delayed-causal"):
+            assert name in out
+
+    def test_shows_causal_updating_column(self, capsys):
+        main(["protocols"])
+        out = capsys.readouterr().out
+        assert "causal updating" in out
+
+
+class TestRun:
+    def test_default_run_is_causal(self, capsys):
+        assert main(["run"]) == 0
+        out = capsys.readouterr().out
+        assert "causal: OK" in out
+
+    def test_multiple_checks(self, capsys):
+        code = main(["run", "--protocols", "aw-sequential", "--check", "causal,pram"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "causal: OK" in out
+        assert "pram: OK" in out
+
+    def test_unknown_protocol_fails_fast(self):
+        with pytest.raises(Exception):
+            main(["run", "--protocols", "no-such-protocol"])
+
+    def test_unknown_model_returns_2(self, capsys):
+        assert main(["run", "--check", "bogus"]) == 2
+
+    def test_trace_written(self, tmp_path, capsys):
+        trace = tmp_path / "out.json"
+        assert main(["run", "--trace", str(trace)]) == 0
+        assert trace.exists()
+
+    def test_diagram_printed(self, capsys):
+        main(["run", "--diagram", "--processes", "2", "--ops", "3"])
+        out = capsys.readouterr().out
+        assert "space-time diagram" in out
+
+    def test_chain_and_per_edge_flags(self, capsys):
+        code = main(
+            [
+                "run",
+                "--protocols",
+                "vector-causal,vector-causal,vector-causal",
+                "--topology",
+                "chain",
+                "--per-edge",
+            ]
+        )
+        assert code == 0
+
+
+class TestCheck:
+    def make_trace(self, tmp_path):
+        trace = tmp_path / "trace.json"
+        main(["run", "--trace", str(trace)])
+        return trace
+
+    def test_check_saved_trace(self, tmp_path, capsys):
+        trace = self.make_trace(tmp_path)
+        capsys.readouterr()
+        assert main(["check", str(trace)]) == 0
+        assert "causal: OK" in capsys.readouterr().out
+
+    def test_check_sessions(self, tmp_path, capsys):
+        trace = self.make_trace(tmp_path)
+        capsys.readouterr()
+        assert main(["check", str(trace), "--model", "sessions"]) == 0
+        out = capsys.readouterr().out
+        assert "read-your-writes: OK" in out
+        assert "writes-follow-reads: OK" in out
+
+    def test_check_including_interconnect_ops(self, tmp_path, capsys):
+        trace = self.make_trace(tmp_path)
+        capsys.readouterr()
+        assert main(["check", str(trace), "--include-interconnect"]) == 0
+
+    def test_violating_trace_exits_1(self, tmp_path, capsys):
+        from repro.trace import dump_history
+        from repro.workloads.scenarios import fifo_causality_violation, run_until_quiescent
+
+        result = fifo_causality_violation()
+        run_until_quiescent(result.sim, result.systems)
+        trace = tmp_path / "bad.json"
+        dump_history(result.recorder.history(), trace)
+        assert main(["check", str(trace)]) == 1
+        assert "VIOLATED" in capsys.readouterr().out
+
+
+class TestProve:
+    def test_proves_all_processes(self, tmp_path, capsys):
+        trace = tmp_path / "trace.json"
+        main(["run", "--processes", "2", "--ops", "4", "--trace", str(trace)])
+        capsys.readouterr()
+        assert main(["prove", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "causal-order preservation verified" in out
+        assert out.count("gamma^T") == 4  # 2 systems x 2 processes
+
+    def test_proves_single_process(self, tmp_path, capsys):
+        trace = tmp_path / "trace.json"
+        main(["run", "--processes", "2", "--ops", "4", "--trace", str(trace)])
+        capsys.readouterr()
+        assert main(["prove", str(trace), "--proc", "S0/p0"]) == 0
+        assert capsys.readouterr().out.count("gamma^T") == 1
+
+    def test_fails_on_non_causal_trace(self, tmp_path, capsys):
+        from repro.trace import dump_history
+        from repro.workloads.scenarios import fifo_causality_violation, run_until_quiescent
+
+        scenario = fifo_causality_violation()
+        run_until_quiescent(scenario.sim, scenario.systems)
+        trace = tmp_path / "bad.json"
+        dump_history(scenario.recorder.history(), trace)
+        assert main(["prove", str(trace), "--proc", "C"]) == 1
+        assert "FAILED" in capsys.readouterr().out
+
+
+class TestLattice:
+    def test_small_census(self, capsys):
+        assert main(["lattice", "--max-ops", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "all universal laws hold" in out
+        assert "causal" in out
+
+
+class TestDemo:
+    def test_demo_runs(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "Theorem 1" in out
+        assert "Lemma 1" in out

@@ -1,0 +1,90 @@
+"""Unit tests for the Relation (bitmask graph) utilities."""
+
+from repro.checker.graph import Relation
+
+
+class TestBasics:
+    def test_add_and_has(self):
+        relation = Relation(3)
+        assert relation.add(0, 1)
+        assert relation.has(0, 1)
+        assert not relation.has(1, 0)
+
+    def test_add_duplicate_returns_false(self):
+        relation = Relation(2)
+        assert relation.add(0, 1)
+        assert not relation.add(0, 1)
+
+    def test_successors(self):
+        relation = Relation(4)
+        relation.add(0, 2)
+        relation.add(0, 3)
+        assert sorted(relation.successors(0)) == [2, 3]
+
+    def test_edge_count(self):
+        relation = Relation(3)
+        relation.add(0, 1)
+        relation.add(1, 2)
+        assert relation.edge_count() == 2
+
+    def test_copy_is_independent(self):
+        relation = Relation(2)
+        relation.add(0, 1)
+        dup = relation.copy()
+        dup.add(1, 0)
+        assert not relation.has(1, 0)
+
+
+class TestClosure:
+    def test_transitive_closure_chain(self):
+        relation = Relation(4)
+        relation.add(0, 1)
+        relation.add(1, 2)
+        relation.add(2, 3)
+        closed = relation.transitive_closure()
+        assert closed.has(0, 3)
+        assert closed.has(1, 3)
+        assert not closed.has(3, 0)
+
+    def test_closure_does_not_mutate_original(self):
+        relation = Relation(3)
+        relation.add(0, 1)
+        relation.add(1, 2)
+        relation.transitive_closure()
+        assert not relation.has(0, 2)
+
+    def test_cycle_detection(self):
+        relation = Relation(3)
+        relation.add(0, 1)
+        relation.add(1, 2)
+        relation.add(2, 0)
+        closed = relation.transitive_closure()
+        assert closed.cycle_node() is not None
+
+    def test_acyclic_has_no_cycle_node(self):
+        relation = Relation(3)
+        relation.add(0, 1)
+        relation.add(0, 2)
+        assert relation.transitive_closure().cycle_node() is None
+
+    def test_self_loop_is_cycle(self):
+        relation = Relation(2)
+        relation.add(1, 1)
+        assert relation.transitive_closure().cycle_node() == 1
+
+
+class TestRestrict:
+    def test_restrict_reindexes(self):
+        relation = Relation(4)
+        relation.add(0, 2)
+        relation.add(2, 3)
+        sub = relation.restrict([0, 2, 3])
+        assert sub.size == 3
+        assert sub.has(0, 1)  # old 0 -> old 2
+        assert sub.has(1, 2)  # old 2 -> old 3
+
+    def test_restrict_drops_outside_edges(self):
+        relation = Relation(3)
+        relation.add(0, 1)
+        sub = relation.restrict([0, 2])
+        assert sub.edge_count() == 0

@@ -1,0 +1,138 @@
+"""Unit tests for operations, histories, projections and the recorder."""
+
+import pytest
+
+from repro.errors import CheckerError
+from repro.memory.history import History
+from repro.memory.operations import INITIAL_VALUE, OpKind
+from repro.memory.recorder import HistoryRecorder
+from tests.helpers import ops
+
+
+class TestOperation:
+    def test_kind_predicates(self):
+        history = ops(("A", "w", "x", 1), ("A", "r", "x", 1))
+        write, read = history.operations
+        assert write.is_write and not write.is_read
+        assert read.is_read and not read.is_write
+
+    def test_reads_initial(self):
+        history = ops(("A", "r", "x", INITIAL_VALUE), ("A", "r", "x", 5))
+        first, second = history.operations
+        assert first.reads_initial
+        assert not second.reads_initial
+
+    def test_str_uses_paper_notation(self):
+        history = ops(("A", "w", "x", 1), system="S0")
+        assert str(history.operations[0]) == "w[A@S0](x)1"
+
+    def test_with_system_relabels(self):
+        history = ops(("A", "w", "x", 1), system="S0")
+        relabelled = history.operations[0].with_system("S1", proc="isp")
+        assert relabelled.system == "S1"
+        assert relabelled.proc == "isp"
+        assert relabelled.value == 1
+
+
+class TestHistoryProjections:
+    def test_of_process_program_order(self):
+        history = ops(("A", "w", "x", 1), ("B", "w", "y", 2), ("A", "r", "y", 2))
+        assert [op.var for op in history.of_process("A")] == ["x", "y"]
+
+    def test_projection_keeps_all_writes_and_own_reads(self):
+        history = ops(
+            ("A", "w", "x", 1),
+            ("B", "r", "x", 1),
+            ("B", "w", "y", 2),
+            ("A", "r", "y", 2),
+        )
+        proj = history.projection("A")
+        kinds = [(op.proc, op.kind) for op in proj]
+        assert (("B", OpKind.READ)) not in kinds
+        assert len(proj) == 3  # w(x)1, w(y)2, A's read
+
+    def test_writes_on_variable(self):
+        history = ops(("A", "w", "x", 1), ("A", "w", "y", 2), ("B", "w", "x", 3))
+        assert {op.value for op in history.writes_on("x")} == {1, 3}
+
+    def test_variables_sorted(self):
+        history = ops(("A", "w", "z", 1), ("A", "w", "a", 2))
+        assert history.variables() == ["a", "z"]
+
+    def test_write_of_value(self):
+        history = ops(("A", "w", "x", 1))
+        assert history.write_of_value("x", 1) is history.operations[0]
+        assert history.write_of_value("x", INITIAL_VALUE) is None
+        assert history.write_of_value("x", 99) is None
+
+    def test_empty_history_is_falsy(self):
+        assert not History([])
+        assert len(History([])) == 0
+
+    def test_pretty_renders_per_process(self):
+        history = ops(("A", "w", "x", 1), ("B", "r", "x", 1))
+        rendered = history.pretty()
+        assert "A: w[A@S](x)1" in rendered
+        assert "B: r[B@S](x)1" in rendered
+
+
+class TestReadsFrom:
+    def test_maps_read_to_unique_write(self):
+        history = ops(("A", "w", "x", 1), ("B", "r", "x", 1))
+        write, read = history.operations
+        assert history.reads_from() == {read: write}
+
+    def test_initial_read_maps_to_none(self):
+        history = ops(("A", "r", "x", INITIAL_VALUE))
+        assert history.reads_from() == {history.operations[0]: None}
+
+    def test_thin_air_read_raises(self):
+        history = ops(("A", "r", "x", 42))
+        with pytest.raises(CheckerError, match="thin-air"):
+            history.reads_from()
+
+
+class TestValidate:
+    def test_valid_history_passes(self):
+        ops(("A", "w", "x", 1), ("B", "r", "x", 1)).validate()
+
+    def test_duplicate_value_same_var_rejected(self):
+        history = ops(("A", "w", "x", 1), ("B", "w", "x", 1))
+        with pytest.raises(CheckerError, match="written twice"):
+            history.validate()
+
+    def test_same_value_different_vars_allowed(self):
+        ops(("A", "w", "x", 1), ("B", "w", "y", 1)).validate()
+
+    def test_write_of_initial_value_rejected(self):
+        history = ops(("A", "w", "x", INITIAL_VALUE))
+        with pytest.raises(CheckerError, match="initial value"):
+            history.validate()
+
+
+class TestSystemProjections:
+    def test_without_interconnect_filters_is_ops(self):
+        recorder = HistoryRecorder()
+        recorder.record(OpKind.WRITE, "A", "x", 1, "S0", 0.0, 0.0)
+        recorder.record(OpKind.WRITE, "isp", "x", 1, "S1", 1.0, 1.0, is_interconnect=True)
+        history = recorder.history()
+        assert len(history) == 2
+        assert len(history.without_interconnect()) == 1
+
+    def test_for_system_filters(self):
+        recorder = HistoryRecorder()
+        recorder.record(OpKind.WRITE, "A", "x", 1, "S0", 0.0, 0.0)
+        recorder.record(OpKind.WRITE, "B", "y", 2, "S1", 1.0, 1.0)
+        assert len(recorder.history().for_system("S0")) == 1
+
+
+class TestRecorder:
+    def test_assigns_sequential_ids_and_seqs(self):
+        recorder = HistoryRecorder()
+        first = recorder.record(OpKind.WRITE, "A", "x", 1, "S", 0.0, 0.0)
+        second = recorder.record(OpKind.READ, "A", "x", 1, "S", 1.0, 1.0)
+        other = recorder.record(OpKind.WRITE, "B", "y", 2, "S", 2.0, 2.0)
+        assert (first.seq, second.seq) == (0, 1)
+        assert other.seq == 0
+        assert len({first.op_id, second.op_id, other.op_id}) == 3
+        assert recorder.count == 3

@@ -1,0 +1,137 @@
+"""Unit tests for the IS-process tasks (Propagate_in/out, Pre_Propagate)."""
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.interconnect.bridge import connect
+from repro.interconnect.is_process import ISProcess, PropagatedPair
+from repro.memory.program import Read, Sleep, Write
+from repro.memory.recorder import HistoryRecorder
+from repro.memory.system import DSMSystem
+from repro.protocols import get
+from repro.sim.channel import ReliableFifoChannel
+from repro.sim.core import Simulator
+
+
+def make_pair(seed=0, **connect_kwargs):
+    sim = Simulator()
+    recorder = HistoryRecorder()
+    s0 = DSMSystem(sim, "S0", get("vector-causal"), recorder=recorder, seed=seed)
+    s1 = DSMSystem(sim, "S1", get("vector-causal"), recorder=recorder, seed=seed + 1)
+    bridge = connect(s0, s1, **connect_kwargs)
+    return sim, recorder, s0, s1, bridge
+
+
+class TestPropagateOut:
+    def test_local_write_is_propagated_once(self):
+        sim, _, s0, s1, bridge = make_pair()
+        s0.add_application("A", [Write("x", 1)])
+        sim.run()
+        assert bridge.pairs_a_to_b == 1
+        assert bridge.pairs_b_to_a == 0
+
+    def test_propagated_value_readable_in_peer(self):
+        sim, _, s0, s1, bridge = make_pair()
+        s0.add_application("A", [Write("x", 1)])
+        reader = s1.add_application("B", [Sleep(20.0), Read("x")])
+        sim.run()
+        assert reader.mcs.local_value("x") == 1
+
+    def test_no_ping_pong(self):
+        # A propagated write must not be propagated back (no upcall for
+        # the IS-process's own writes).
+        sim, _, s0, s1, bridge = make_pair()
+        s0.add_application("A", [Write("x", 1)])
+        s1.add_application("B", [])
+        sim.run()
+        assert bridge.pairs_a_to_b == 1
+        assert bridge.pairs_b_to_a == 0
+
+    def test_out_reads_recorded_as_interconnect_ops(self):
+        sim, recorder, s0, s1, _ = make_pair()
+        s0.add_application("A", [Write("x", 1)])
+        sim.run()
+        is_ops = [op for op in recorder.history() if op.is_interconnect]
+        # isp0 reads x (Propagate_out); isp1 writes x (Propagate_in).
+        assert any(op.is_read and op.system == "S0" for op in is_ops)
+        assert any(op.is_write and op.system == "S1" for op in is_ops)
+
+    def test_each_side_propagates_its_writes(self):
+        sim, _, s0, s1, bridge = make_pair()
+        s0.add_application("A", [Write("x", 1)])
+        s1.add_application("B", [Write("y", 2)])
+        sim.run()
+        assert bridge.pairs_a_to_b == 1
+        assert bridge.pairs_b_to_a == 1
+
+
+class TestPropagateIn:
+    def test_pairs_applied_in_receipt_order(self):
+        sim, _, s0, s1, bridge = make_pair()
+        s0.add_application("A", [Write("x", 1), Write("x", 2), Write("x", 3)])
+        reader = s1.add_application("B", [Sleep(50.0), Read("x")])
+        sim.run()
+        assert reader.mcs.local_value("x") == 3
+        assert bridge.isp_b.pairs_applied_in == 3
+
+    def test_propagation_count_statistics(self):
+        sim, _, s0, s1, bridge = make_pair()
+        s0.add_application("A", [Write("x", 1), Write("y", 2)])
+        sim.run()
+        assert bridge.isp_a.pairs_propagated_out == 2
+        assert bridge.isp_b.pairs_applied_in == 2
+
+
+class TestISProtocolSelection:
+    def test_causal_updating_protocol_gets_protocol_1(self):
+        _, __, s0, s1, bridge = make_pair()
+        assert not bridge.isp_a.wants_pre_update
+        assert not bridge.isp_b.wants_pre_update
+
+    def test_non_causal_updating_protocol_gets_protocol_2(self):
+        sim = Simulator()
+        recorder = HistoryRecorder()
+        s0 = DSMSystem(sim, "S0", get("delayed-causal"), recorder=recorder)
+        s1 = DSMSystem(sim, "S1", get("vector-causal"), recorder=recorder)
+        bridge = connect(s0, s1)
+        assert bridge.isp_a.wants_pre_update  # delayed side needs protocol 2
+        assert not bridge.isp_b.wants_pre_update
+
+    def test_explicit_override(self):
+        _, __, s0, s1, bridge = make_pair(use_pre_update=True)
+        assert bridge.isp_a.wants_pre_update
+        assert bridge.isp_b.wants_pre_update
+
+    def test_pre_update_reads_recorded(self):
+        sim, recorder, s0, s1, _ = make_pair(use_pre_update=True)
+        s0.add_application("A", [Write("x", 1)])
+        sim.run()
+        isp_reads = [
+            op
+            for op in recorder.history()
+            if op.is_interconnect and op.is_read and op.system == "S0"
+        ]
+        # Pre_Propagate_out reads the old value, Propagate_out the new one.
+        assert [op.value for op in isp_reads] == [None, 1]
+
+
+class TestErrorHandling:
+    def test_duplicate_peer_rejected(self):
+        sim = Simulator()
+        recorder = HistoryRecorder()
+        system = DSMSystem(sim, "S0", get("vector-causal"), recorder=recorder)
+        mcs = system.new_mcs("isp")
+        isp = ISProcess(sim=sim, name="isp", mcs=mcs, recorder=recorder, use_pre_update=False)
+        channel = ReliableFifoChannel(sim, deliver=lambda message: None)
+        isp.add_peer("other", channel)
+        with pytest.raises(ProtocolError):
+            isp.add_peer("other", channel)
+
+    def test_pair_from_unknown_peer_rejected(self):
+        sim = Simulator()
+        recorder = HistoryRecorder()
+        system = DSMSystem(sim, "S0", get("vector-causal"), recorder=recorder)
+        mcs = system.new_mcs("isp")
+        isp = ISProcess(sim=sim, name="isp", mcs=mcs, recorder=recorder, use_pre_update=False)
+        with pytest.raises(ProtocolError):
+            isp.receive("ghost", PropagatedPair("x", 1))

@@ -1,0 +1,66 @@
+"""Unit tests for program commands and the SimProcess base."""
+
+import pytest
+
+from repro.memory.program import Read, Sleep, Write
+from repro.sim.core import Simulator
+from repro.sim.process import SimProcess
+
+
+class TestCommands:
+    def test_write_defaults_weak(self):
+        command = Write("x", 1)
+        assert command.strong is False
+
+    def test_strong_write(self):
+        assert Write("x", 1, strong=True).strong
+
+    def test_commands_are_frozen(self):
+        with pytest.raises(Exception):
+            Write("x", 1).var = "y"
+
+    def test_negative_sleep_rejected(self):
+        with pytest.raises(ValueError):
+            Sleep(-1.0)
+
+    def test_zero_sleep_allowed(self):
+        assert Sleep(0.0).duration == 0.0
+
+    def test_commands_hashable_and_comparable(self):
+        assert Read("x") == Read("x")
+        assert Write("x", 1) != Write("x", 2)
+        assert len({Read("x"), Read("x"), Read("y")}) == 2
+
+
+class TestSimProcess:
+    def test_after_schedules_relative(self):
+        sim = Simulator()
+        process = SimProcess(sim, "p")
+        fired = []
+        process.after(2.0, lambda: fired.append(process.now))
+        sim.run()
+        assert fired == [2.0]
+
+    def test_soon_runs_at_current_time(self):
+        sim = Simulator()
+        process = SimProcess(sim, "p")
+        fired = []
+
+        def outer():
+            process.soon(lambda: fired.append("soon"))
+            fired.append("outer")
+
+        process.after(1.0, outer)
+        sim.run()
+        assert fired == ["outer", "soon"]
+        assert sim.now == 1.0
+
+    def test_repr_shows_name(self):
+        assert "SimProcess('p')" == repr(SimProcess(Simulator(), "p"))
+
+    def test_now_tracks_simulator(self):
+        sim = Simulator()
+        process = SimProcess(sim, "p")
+        sim.schedule(3.0, lambda: None)
+        sim.run()
+        assert process.now == 3.0

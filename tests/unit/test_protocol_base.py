@@ -1,0 +1,67 @@
+"""Unit tests for protocol specs and the registry."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.memory.recorder import HistoryRecorder
+from repro.memory.system import DSMSystem
+from repro.protocols import available, get
+from repro.protocols.base import ProtocolSpec, register
+from repro.protocols.vector import VectorCausalMCS
+from repro.sim.core import Simulator
+
+
+class TestRegistry:
+    def test_known_protocols_present(self):
+        names = available()
+        for expected in (
+            "vector-causal",
+            "aw-sequential",
+            "parametrized-causal",
+            "parametrized-sequential",
+            "parametrized-cache",
+            "delayed-causal",
+            "precise-causal",
+            "fifo-apply",
+            "scrambled-apply",
+        ):
+            assert expected in names
+
+    def test_unknown_protocol_raises_with_known_list(self):
+        with pytest.raises(ConfigurationError, match="vector-causal"):
+            get("does-not-exist")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ConfigurationError):
+            register(ProtocolSpec(name="vector-causal", factory=VectorCausalMCS))
+
+
+class TestSpec:
+    def test_with_options_merges(self):
+        spec = get("delayed-causal").with_options(max_lag=3.0)
+        assert spec.options["max_lag"] == 3.0
+        assert spec.name == "delayed-causal"
+        again = spec.with_options(lag_seed=5)
+        assert again.options == {"max_lag": 3.0, "lag_seed": 5}
+
+    def test_build_produces_working_mcs(self):
+        sim = Simulator()
+        system = DSMSystem(sim, "S", get("vector-causal"), recorder=HistoryRecorder())
+        mcs = system.new_mcs("probe")
+        assert isinstance(mcs, VectorCausalMCS)
+        assert mcs.system_name == "S"
+        assert mcs.proc_index == 0
+
+    def test_proc_indices_increment(self):
+        sim = Simulator()
+        system = DSMSystem(sim, "S", get("vector-causal"), recorder=HistoryRecorder())
+        first = system.new_mcs("a")
+        second = system.new_mcs("b")
+        assert (first.proc_index, second.proc_index) == (0, 1)
+
+    def test_options_passed_to_factory(self):
+        spec = get("delayed-causal").with_options(max_lag=0.25)
+        sim = Simulator()
+        system = DSMSystem(sim, "S", spec, recorder=HistoryRecorder())
+        mcs = system.new_mcs("a")
+        assert mcs._max_lag == 0.25

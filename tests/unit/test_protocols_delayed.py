@@ -1,0 +1,122 @@
+"""Unit tests for the delayed-apply (non-causal-updating) protocol."""
+
+from repro.checker import check_causal
+from repro.memory.interface import UpcallHandler
+from repro.memory.program import Read, Sleep, Write
+from repro.memory.recorder import HistoryRecorder
+from repro.memory.system import DSMSystem
+from repro.protocols import get
+from repro.sim.core import Simulator
+from repro.workloads import WorkloadSpec, populate_system
+from repro.workloads.scenarios import run_until_quiescent
+
+
+def make_system(protocol="delayed-causal", seed=0, **options):
+    sim = Simulator()
+    recorder = HistoryRecorder()
+    spec = get(protocol)
+    if options:
+        spec = spec.with_options(**options)
+    system = DSMSystem(sim, "S", spec, recorder=recorder, seed=seed)
+    return sim, recorder, system
+
+
+class TestAppLevelCausality:
+    def test_reads_flush_the_lag_queue(self):
+        sim, _, system = make_system(max_lag=50.0)
+        system.add_application("A", [Write("x", 1)])
+        reader = system.add_application("B", [Sleep(5.0), Read("x")])
+        sim.run()
+        history = system.recorder.history()
+        read = history.of_process("B")[-1]
+        # Without the flush the read would return the initial value: the
+        # update is ready (arrived at t=1) but lagging (up to 50).
+        assert read.value == 1
+
+    def test_random_workloads_stay_causal_despite_lag(self):
+        for seed in range(6):
+            sim, recorder, system = make_system(max_lag=8.0, lag_seed=seed, seed=seed)
+            populate_system(
+                system,
+                WorkloadSpec(processes=4, ops_per_process=8, write_ratio=0.5),
+                seed=seed,
+            )
+            run_until_quiescent(sim, [system])
+            assert check_causal(recorder.history()).ok, f"seed {seed}"
+
+    def test_zero_lag_variant_is_causal(self):
+        for seed in range(4):
+            sim, recorder, system = make_system(protocol="precise-causal", seed=seed)
+            populate_system(
+                system,
+                WorkloadSpec(processes=3, ops_per_process=7),
+                seed=seed,
+            )
+            run_until_quiescent(sim, [system])
+            assert check_causal(recorder.history()).ok
+
+
+class TestCausalUpdatingViolation:
+    def test_lag_inverts_cross_variable_apply_order(self):
+        """Property 1 can fail: causally ordered writes on different
+        variables hit a replica's store out of causal order."""
+        found_inversion = False
+        for lag_seed in range(20):
+            sim, _, system = make_system(max_lag=10.0, lag_seed=lag_seed)
+            system.add_application("A", [Write("x", 1), Write("y", 2)])
+            passive = system.add_application("B", [Sleep(100.0)])
+            sim.run()
+            if passive.mcs.lag_inversions > 0:
+                found_inversion = True
+                break
+        assert found_inversion, "no lag seed inverted the apply order"
+
+    def test_pre_update_handler_disables_lag(self):
+        """Lemma 1: with pre-update reads active the replica must apply in
+        causal order — the implementation disables the lag."""
+        sim, _, system = make_system(max_lag=10.0)
+        target = system.new_mcs("probe")
+
+        class Probe(UpcallHandler):
+            wants_pre_update = True
+
+            def __init__(self):
+                self.order = []
+
+            def pre_update(self, var):
+                pass
+
+            def post_update(self, var, value):
+                self.order.append((var, value))
+
+        probe = Probe()
+        target.attach_upcall_handler(probe)
+        system.add_application("A", [Write("x", 1), Write("y", 2)])
+        sim.run()
+        assert probe.order == [("x", 1), ("y", 2)]
+        assert target.lag_inversions == 0
+
+    def test_spec_metadata(self):
+        assert not get("delayed-causal").causal_updating
+        assert get("precise-causal").causal_updating
+
+
+class TestUpcallConditions:
+    def test_post_update_read_returns_new_value(self):
+        sim, _, system = make_system(max_lag=0.0)
+        target = system.new_mcs("probe")
+        observed = []
+
+        class Probe(UpcallHandler):
+            wants_pre_update = True
+
+            def pre_update(self, var):
+                observed.append(("pre", target.local_value(var)))
+
+            def post_update(self, var, value):
+                observed.append(("post", target.local_value(var)))
+
+        target.attach_upcall_handler(Probe())
+        system.add_application("A", [Write("x", 1)])
+        sim.run()
+        assert observed == [("pre", None), ("post", 1)]

@@ -1,0 +1,59 @@
+"""Unit tests for the deliberately weak protocols (checker validation)."""
+
+from repro.checker import check_causal, check_pram
+from repro.memory.program import Read, Sleep, Write
+from repro.memory.recorder import HistoryRecorder
+from repro.memory.system import DSMSystem
+from repro.protocols import get
+from repro.sim.core import Simulator
+from repro.workloads.scenarios import (
+    fifo_causality_violation,
+    run_until_quiescent,
+    scrambled_pram_violation,
+)
+
+
+class TestFifoApply:
+    def test_basic_propagation_works(self):
+        sim = Simulator()
+        system = DSMSystem(sim, "S", get("fifo-apply"), recorder=HistoryRecorder())
+        system.add_application("A", [Write("x", 1)])
+        reader = system.add_application("B", [Sleep(5.0), Read("x")])
+        sim.run()
+        assert reader.mcs.local_value("x") == 1
+
+    def test_adversarial_scenario_violates_causality(self):
+        result = fifo_causality_violation()
+        run_until_quiescent(result.sim, result.systems)
+        history = result.history
+        assert not check_causal(history).ok
+
+    def test_adversarial_scenario_is_still_pram(self):
+        result = fifo_causality_violation()
+        run_until_quiescent(result.sim, result.systems)
+        assert check_pram(result.history).ok
+
+    def test_spec_metadata(self):
+        assert not get("fifo-apply").causal_updating
+        assert get("fifo-apply").consistency == "pram"
+
+
+class TestScrambledApply:
+    def test_known_seed_violates_pram(self):
+        result = scrambled_pram_violation(lag_seed=2)
+        run_until_quiescent(result.sim, result.systems)
+        history = result.history
+        assert not check_pram(history).ok
+        assert not check_causal(history).ok
+
+    def test_some_seed_out_of_many_violates(self):
+        violated = 0
+        for lag_seed in range(8):
+            result = scrambled_pram_violation(lag_seed=lag_seed)
+            run_until_quiescent(result.sim, result.systems)
+            if not check_pram(result.history).ok:
+                violated += 1
+        assert violated >= 1
+
+    def test_spec_metadata(self):
+        assert get("scrambled-apply").consistency == "none"

@@ -1,0 +1,161 @@
+"""Unit tests for bridges and tree topologies."""
+
+import pytest
+
+from repro.errors import ConfigurationError, TopologyError
+from repro.interconnect.bridge import connect
+from repro.interconnect.topology import (
+    chain_edges,
+    interconnect,
+    star_edges,
+    validate_tree,
+)
+from repro.memory.program import Write
+from repro.memory.recorder import HistoryRecorder
+from repro.memory.system import DSMSystem
+from repro.protocols import get
+from repro.sim.core import Simulator
+
+
+def make_systems(count, recorder=None, sim=None):
+    sim = sim or Simulator()
+    recorder = recorder or HistoryRecorder()
+    return sim, [
+        DSMSystem(sim, f"S{index}", get("vector-causal"), recorder=recorder, seed=index)
+        for index in range(count)
+    ]
+
+
+class TestEdgeShapes:
+    def test_star_edges(self):
+        assert star_edges(4) == [(0, 1), (0, 2), (0, 3)]
+        assert star_edges(4, hub=2) == [(2, 0), (2, 1), (2, 3)]
+
+    def test_star_bad_hub(self):
+        with pytest.raises(TopologyError):
+            star_edges(3, hub=5)
+
+    def test_chain_edges(self):
+        assert chain_edges(4) == [(0, 1), (1, 2), (2, 3)]
+        assert chain_edges(1) == []
+
+
+class TestValidateTree:
+    def test_valid_tree(self):
+        validate_tree(4, [(0, 1), (1, 2), (1, 3)])
+
+    def test_cycle_rejected(self):
+        with pytest.raises(TopologyError, match="cycle"):
+            validate_tree(4, [(0, 1), (1, 2), (2, 0)])
+
+    def test_wrong_edge_count_rejected(self):
+        with pytest.raises(TopologyError, match="exactly"):
+            validate_tree(4, [(0, 1), (1, 2)])
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(TopologyError, match="self-loop"):
+            validate_tree(2, [(0, 0)])
+
+    def test_disconnected_rejected(self):
+        with pytest.raises(TopologyError, match="cycle|connect"):
+            validate_tree(4, [(0, 1), (0, 1), (2, 3)])
+
+    def test_unknown_system_rejected(self):
+        with pytest.raises(TopologyError, match="unknown"):
+            validate_tree(2, [(0, 7)])
+
+
+class TestConnect:
+    def test_different_simulators_rejected(self):
+        _, [s0] = make_systems(1)
+        _, [s1] = make_systems(1)
+        with pytest.raises(ConfigurationError, match="simulator"):
+            connect(s0, s1)
+
+    def test_different_recorders_rejected(self):
+        sim = Simulator()
+        s0 = DSMSystem(sim, "S0", get("vector-causal"), recorder=HistoryRecorder())
+        s1 = DSMSystem(sim, "S1", get("vector-causal"), recorder=HistoryRecorder())
+        with pytest.raises(ConfigurationError, match="recorder"):
+            connect(s0, s1)
+
+    def test_self_connection_rejected(self):
+        _, [s0] = make_systems(1)
+        with pytest.raises(ConfigurationError, match="itself"):
+            connect(s0, s0)
+
+
+class TestInterconnect:
+    def test_star_creates_m_minus_one_bridges(self):
+        sim, systems = make_systems(5, recorder=HistoryRecorder())
+        connection = interconnect(systems, topology="star")
+        assert len(connection.bridges) == 4
+
+    def test_shared_mode_one_isp_per_system(self):
+        sim, systems = make_systems(4)
+        interconnect(systems, topology="star", shared=True)
+        # hub: apps(0) + 1 shared IS; leaves: 1 IS each.
+        assert all(system.mcs_count == 1 for system in systems)
+
+    def test_per_edge_mode_isp_per_link(self):
+        sim, systems = make_systems(4)
+        interconnect(systems, topology="star", shared=False)
+        hub, *leaves = systems
+        assert hub.mcs_count == 3  # one IS-attached MCS per link
+        assert all(leaf.mcs_count == 1 for leaf in leaves)
+
+    def test_single_system_no_bridges(self):
+        sim, systems = make_systems(1)
+        connection = interconnect(systems)
+        assert connection.bridges == []
+
+    def test_unknown_topology_rejected(self):
+        sim, systems = make_systems(3)
+        with pytest.raises(TopologyError, match="unknown topology"):
+            interconnect(systems, topology="ring")
+
+    def test_explicit_edges_validated(self):
+        sim, systems = make_systems(3)
+        with pytest.raises(TopologyError):
+            interconnect(systems, edges=[(0, 1), (1, 2), (2, 0)])
+
+    def test_counters(self):
+        sim, systems = make_systems(3)
+        recorder = systems[0].recorder
+        for system in systems[1:]:
+            system.recorder = recorder
+        connection = interconnect(systems, topology="chain")
+        systems[0].add_application("A", [Write("x", 1)])
+        sim.run()
+        assert connection.total_app_mcs == 1
+        assert connection.inter_system_messages == 2  # both chain hops
+        assert connection.intra_system_messages > 0
+
+
+class TestSharedForwarding:
+    def test_write_reaches_all_leaves_through_hub(self):
+        sim = Simulator()
+        recorder = HistoryRecorder()
+        systems = [
+            DSMSystem(sim, f"S{index}", get("vector-causal"), recorder=recorder, seed=index)
+            for index in range(4)
+        ]
+        interconnect(systems, topology="star", shared=True)
+        systems[1].add_application("A", [Write("x", 1)])
+        probes = [systems[index].add_application("P", []) for index in (0, 2, 3)]
+        sim.run()
+        for probe in probes:
+            assert probe.mcs.local_value("x") == 1
+
+    def test_per_edge_mode_also_floods(self):
+        sim = Simulator()
+        recorder = HistoryRecorder()
+        systems = [
+            DSMSystem(sim, f"S{index}", get("vector-causal"), recorder=recorder, seed=index)
+            for index in range(4)
+        ]
+        interconnect(systems, topology="chain", shared=False)
+        systems[0].add_application("A", [Write("x", 1)])
+        probe = systems[3].add_application("P", [])
+        sim.run()
+        assert probe.mcs.local_value("x") == 1

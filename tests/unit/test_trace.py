@@ -1,0 +1,109 @@
+"""Unit tests for trace (history) serialisation."""
+
+import pytest
+
+from repro.errors import CheckerError
+from repro.trace import (
+    SCHEMA_VERSION,
+    dump_history,
+    dumps_history,
+    history_from_dict,
+    history_to_dict,
+    load_history,
+    loads_history,
+)
+from tests.helpers import ops
+
+
+def sample_history():
+    return ops(
+        ("A", "w", "x", 1),
+        ("B", "r", "x", 1),
+        ("B", "w", "y", "text-value"),
+        ("A", "r", "y", "text-value"),
+    )
+
+
+class TestRoundTrip:
+    def test_json_round_trip_preserves_operations(self):
+        history = sample_history()
+        restored = loads_history(dumps_history(history))
+        assert len(restored) == len(history)
+        for original, loaded in zip(history, restored):
+            assert original == loaded
+
+    def test_file_round_trip(self, tmp_path):
+        history = sample_history()
+        path = tmp_path / "trace.json"
+        dump_history(history, path)
+        restored = load_history(path)
+        assert list(restored) == list(history)
+
+    def test_interconnect_flag_preserved(self):
+        from repro.memory.operations import OpKind
+        from repro.memory.recorder import HistoryRecorder
+
+        recorder = HistoryRecorder()
+        recorder.record(OpKind.WRITE, "isp", "x", 1, "S0", 0.0, 0.0, is_interconnect=True)
+        restored = loads_history(dumps_history(recorder.history()))
+        assert restored.operations[0].is_interconnect
+
+    def test_initial_value_round_trips(self):
+        history = ops(("A", "r", "x", None))
+        restored = loads_history(dumps_history(history))
+        assert restored.operations[0].value is None
+
+    def test_non_json_values_stringified(self):
+        history = ops(("A", "w", "x", (1, 2)))
+        blob = history_to_dict(history)
+        encoded = blob["operations"][0]["value"]
+        assert encoded["stringified"]
+        restored = history_from_dict(blob)
+        assert restored.operations[0].value == "(1, 2)"
+
+
+class TestSchema:
+    def test_schema_version_present(self):
+        blob = history_to_dict(sample_history())
+        assert blob["schema"] == SCHEMA_VERSION
+        assert blob["kind"] == "repro-trace"
+
+    def test_wrong_kind_rejected(self):
+        with pytest.raises(CheckerError, match="not a repro trace"):
+            history_from_dict({"kind": "something-else", "schema": 1})
+
+    def test_wrong_schema_rejected(self):
+        with pytest.raises(CheckerError, match="unsupported trace schema"):
+            history_from_dict({"kind": "repro-trace", "schema": 999, "operations": []})
+
+    def test_malformed_json_rejected(self):
+        with pytest.raises(CheckerError, match="malformed"):
+            loads_history("{not json")
+
+
+class TestCheckingLoadedTraces:
+    def test_loaded_trace_checkable(self):
+        from repro.checker import check_causal
+
+        restored = loads_history(dumps_history(sample_history()))
+        assert check_causal(restored).ok
+
+    def test_simulation_trace_round_trips(self):
+        from repro.checker import check_causal
+        from repro.workloads import WorkloadSpec, build_interconnected
+        from repro.workloads.scenarios import run_until_quiescent
+
+        result = build_interconnected(
+            ["vector-causal", "vector-causal"],
+            WorkloadSpec(processes=2, ops_per_process=4),
+            seed=3,
+        )
+        run_until_quiescent(result.sim, result.systems)
+        original = result.recorder.history()
+        restored = loads_history(dumps_history(original))
+        assert len(restored) == len(original)
+        assert (
+            check_causal(restored.without_interconnect()).ok
+            == check_causal(original.without_interconnect()).ok
+            is True
+        )

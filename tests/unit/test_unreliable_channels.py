@@ -1,0 +1,64 @@
+"""Unit tests for the assumption-violating channel doubles (X7)."""
+
+import random
+
+from repro.sim.channel import UniformDelay
+from repro.sim.core import Simulator
+from repro.sim.unreliable import DuplicatingChannel, ReorderingChannel
+
+
+def drive(channel_cls, count=40, seed=3, **kwargs):
+    sim = Simulator()
+    received = []
+    channel = channel_cls(
+        sim,
+        deliver=received.append,
+        delay=UniformDelay(0.1, 10.0),
+        rng=random.Random(seed),
+        **kwargs,
+    )
+    for index in range(count):
+        sim.schedule(index * 0.1, lambda index=index: channel.send(index))
+    sim.run()
+    return channel, received
+
+
+class TestReorderingChannel:
+    def test_delivers_everything_exactly_once(self):
+        _, received = drive(ReorderingChannel)
+        assert sorted(received) == list(range(40))
+
+    def test_actually_reorders(self):
+        _, received = drive(ReorderingChannel)
+        assert received != sorted(received)
+
+    def test_stats_track_deliveries(self):
+        channel, received = drive(ReorderingChannel)
+        assert channel.stats.messages_sent == 40
+        assert channel.stats.messages_delivered == 40
+
+
+class TestDuplicatingChannel:
+    def test_originals_stay_fifo(self):
+        _, received = drive(DuplicatingChannel, dup_probability=0.5)
+        firsts = []
+        seen = set()
+        for message in received:
+            if message not in seen:
+                seen.add(message)
+                firsts.append(message)
+        assert firsts == sorted(firsts)
+
+    def test_duplicates_injected_and_counted(self):
+        channel, received = drive(DuplicatingChannel, dup_probability=0.7)
+        assert channel.duplicates_injected > 0
+        assert len(received) == 40 + channel.duplicates_injected
+
+    def test_zero_probability_is_exactly_once(self):
+        channel, received = drive(DuplicatingChannel, dup_probability=0.0)
+        assert channel.duplicates_injected == 0
+        assert received == list(range(40))
+
+    def test_every_message_delivered_at_least_once(self):
+        _, received = drive(DuplicatingChannel, dup_probability=0.9)
+        assert set(received) == set(range(40))

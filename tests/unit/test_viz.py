@@ -1,0 +1,99 @@
+"""Unit tests for the ASCII space-time renderer."""
+
+from repro.memory.history import History
+from repro.viz import render_reads_from, render_report, render_spacetime
+from tests.helpers import ops
+
+
+class TestSpacetime:
+    def test_empty_history(self):
+        assert render_spacetime(History([])) == "(empty history)"
+
+    def test_one_lane_per_process(self):
+        history = ops(("alice", "w", "x", 1), ("bob", "r", "x", 1))
+        rendered = render_spacetime(history)
+        lines = rendered.splitlines()
+        assert lines[0].startswith("t")
+        assert any(line.startswith("alice") for line in lines)
+        assert any(line.startswith("bob") for line in lines)
+
+    def test_labels_show_op_kind_var_value(self):
+        history = ops(("alice", "w", "x", 1))
+        rendered = render_spacetime(history)
+        assert "w(x)=1" in rendered
+
+    def test_initial_value_rendered_as_empty_set(self):
+        history = ops(("alice", "r", "x", None))
+        assert "r(x)=∅" in render_spacetime(history)
+
+    def test_overflow_marker_for_crowded_buckets(self):
+        specs = [("alice", "w", f"v{index}", index) for index in range(6)]
+        rendered = render_spacetime(ops(*specs), columns=2)
+        assert "+1" in rendered or "+2" in rendered
+
+    def test_ops_land_in_time_order(self):
+        history = ops(
+            ("alice", "w", "x", 1),  # t=0
+            ("alice", "w", "y", 2),  # t=1
+        )
+        rendered = render_spacetime(history, columns=2, lane_width=10)
+        lane = next(line for line in rendered.splitlines() if line.startswith("alice"))
+        assert lane.index("w(x)=1") < lane.index("w(y)=2")
+
+
+class TestReadsFrom:
+    def test_lists_edges(self):
+        history = ops(("A", "w", "x", 1), ("B", "r", "x", 1))
+        rendered = render_reads_from(history)
+        assert "<-" in rendered
+        assert "w[A@S](x)1" in rendered
+
+    def test_initial_value_edge(self):
+        rendered = render_reads_from(ops(("B", "r", "x", None)))
+        assert "(initial value)" in rendered
+
+    def test_no_reads(self):
+        assert render_reads_from(ops(("A", "w", "x", 1))) == "(no reads)"
+
+
+class TestHistogram:
+    def test_empty_samples(self):
+        from repro.viz import ascii_histogram
+
+        assert "(no samples)" in ascii_histogram([])
+
+    def test_constant_samples(self):
+        from repro.viz import ascii_histogram
+
+        rendered = ascii_histogram([2.0, 2.0, 2.0])
+        assert "all = 2" in rendered
+
+    def test_bars_proportional(self):
+        from repro.viz import ascii_histogram
+
+        rendered = ascii_histogram([0.0] * 10 + [10.0] * 5, bins=2, width=20)
+        lines = rendered.splitlines()
+        assert "(10)" in lines[0]
+        assert "(5)" in lines[1]
+        assert lines[0].count("#") > lines[1].count("#")
+
+    def test_counts_sum_to_samples(self):
+        from repro.viz import ascii_histogram
+
+        samples = [float(value) for value in range(37)]
+        rendered = ascii_histogram(samples, bins=5)
+        total = sum(int(line.split("(")[1].rstrip(")")) for line in rendered.splitlines())
+        assert total == 37
+
+    def test_label_included(self):
+        from repro.viz import ascii_histogram
+
+        assert ascii_histogram([1.0, 2.0], label="latency").startswith("latency")
+
+
+class TestReport:
+    def test_report_has_both_sections(self):
+        history = ops(("A", "w", "x", 1), ("B", "r", "x", 1))
+        report = render_report(history)
+        assert "space-time diagram" in report
+        assert "reads-from" in report

@@ -1,0 +1,99 @@
+"""Unit tests for the §1.1 what-if deployment analysis."""
+
+import pytest
+
+from repro.analysis.whatif import (
+    link_load,
+    sustainable_write_rate,
+    total_message_overhead,
+    worth_interconnecting,
+)
+from repro.errors import ConfigurationError
+
+
+class TestLinkLoad:
+    def test_flat_scales_with_far_side(self):
+        load = link_load(n_far=8, writes_per_second=10.0, message_bytes=100.0)
+        assert load.flat_bytes_per_second == 8 * 10 * 100
+        assert load.bridged_bytes_per_second == 1 * 10 * 100
+        assert load.saving_factor == 8.0
+
+    def test_single_far_process_no_saving(self):
+        load = link_load(n_far=1, writes_per_second=5.0)
+        assert load.saving_factor == 1.0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConfigurationError):
+            link_load(0, 1.0)
+        with pytest.raises(ConfigurationError):
+            link_load(2, -1.0)
+
+    def test_zero_rate(self):
+        load = link_load(4, 0.0)
+        assert load.flat_bytes_per_second == 0.0
+        assert load.saving_factor == float("inf")
+
+
+class TestSustainableRate:
+    def test_interconnection_multiplies_capacity(self):
+        flat = sustainable_write_rate(10_000, n_far=5, message_bytes=100, interconnected=False)
+        bridged = sustainable_write_rate(10_000, n_far=5, message_bytes=100, interconnected=True)
+        assert bridged == 5 * flat
+
+    def test_units(self):
+        rate = sustainable_write_rate(1_000, n_far=2, message_bytes=100, interconnected=True)
+        assert rate == 10.0
+
+    def test_invalid_bandwidth(self):
+        with pytest.raises(ConfigurationError):
+            sustainable_write_rate(0, 2)
+
+
+class TestOverhead:
+    def test_shared_overhead_is_m(self):
+        for n in (4, 16, 64):
+            assert total_message_overhead(n, m=2) == 2
+            assert total_message_overhead(n, m=5) == 5
+
+    def test_per_edge_overhead_is_2m_minus_2(self):
+        assert total_message_overhead(10, m=4, shared=False) == 6
+        assert total_message_overhead(10, m=2, shared=False) == 2
+
+    def test_overhead_independent_of_n(self):
+        assert total_message_overhead(4, 3) == total_message_overhead(400, 3)
+
+
+class TestDecision:
+    def test_interconnect_when_flat_overloads_link(self):
+        # 8 far processes x 10 writes/s x 256 B = 20.5 kB/s > 5 kB/s link;
+        # bridged needs only 2.6 kB/s.
+        assert worth_interconnecting(
+            n_far=8,
+            link_bytes_per_second=5_000,
+            lan_bytes_per_second=10_000_000,
+            writes_per_second=10.0,
+        )
+
+    def test_not_worth_when_flat_fits(self):
+        assert not worth_interconnecting(
+            n_far=2,
+            link_bytes_per_second=1_000_000,
+            lan_bytes_per_second=10_000_000,
+            writes_per_second=1.0,
+        )
+
+    def test_not_worth_when_even_bridge_overloads(self):
+        assert not worth_interconnecting(
+            n_far=8,
+            link_bytes_per_second=100,
+            lan_bytes_per_second=10_000_000,
+            writes_per_second=10.0,
+        )
+
+    def test_lan_budget_respected(self):
+        assert not worth_interconnecting(
+            n_far=8,
+            link_bytes_per_second=5_000,
+            lan_bytes_per_second=10,  # hopeless LAN
+            writes_per_second=10.0,
+        )

@@ -1,0 +1,106 @@
+"""Unit tests for workload generation, values, and rng derivation."""
+
+import random
+
+from repro.memory.program import Read, Sleep, Write
+from repro.sim import rng as rng_mod
+from repro.workloads import ValueFactory, WorkloadSpec, populate_system, random_program
+from repro.workloads.generator import random_program as rp
+
+
+class TestValueFactory:
+    def test_values_unique(self):
+        factory = ValueFactory()
+        produced = {factory.next() for _ in range(1000)}
+        assert len(produced) == 1000
+
+    def test_tag_embedded(self):
+        factory = ValueFactory(prefix="S0")
+        value = factory.next("p3")
+        assert value.startswith("S0.p3.")
+
+    def test_distinct_factories_share_nothing(self):
+        a, b = ValueFactory("a"), ValueFactory("b")
+        assert a.next() != b.next()
+
+
+class TestRngDerive:
+    def test_same_labels_same_stream(self):
+        first = rng_mod.derive(42, "channel", 3).random()
+        second = rng_mod.derive(42, "channel", 3).random()
+        assert first == second
+
+    def test_different_labels_differ(self):
+        assert rng_mod.derive(42, "a").random() != rng_mod.derive(42, "b").random()
+
+    def test_different_seeds_differ(self):
+        assert rng_mod.derive(1, "x").random() != rng_mod.derive(2, "x").random()
+
+
+class TestRandomProgram:
+    def test_respects_length(self):
+        spec = WorkloadSpec(ops_per_process=10, max_think=1.0)
+        program = random_program(random.Random(0), spec, ValueFactory(), "p0")
+        memory_ops = [command for command in program if not isinstance(command, Sleep)]
+        assert len(memory_ops) == 10
+
+    def test_zero_think_time_has_no_sleeps(self):
+        spec = WorkloadSpec(ops_per_process=5, max_think=0.0)
+        program = random_program(random.Random(0), spec, ValueFactory(), "p0")
+        assert not any(isinstance(command, Sleep) for command in program)
+
+    def test_write_ratio_extremes(self):
+        values = ValueFactory()
+        all_writes = random_program(
+            random.Random(0), WorkloadSpec(ops_per_process=20, write_ratio=1.0, max_think=0), values, "w"
+        )
+        assert all(isinstance(command, Write) for command in all_writes)
+        all_reads = random_program(
+            random.Random(0), WorkloadSpec(ops_per_process=20, write_ratio=0.0, max_think=0), values, "r"
+        )
+        assert all(isinstance(command, Read) for command in all_reads)
+
+    def test_variables_drawn_from_spec(self):
+        spec = WorkloadSpec(ops_per_process=30, variables=("a", "b"), max_think=0)
+        program = random_program(random.Random(1), spec, ValueFactory(), "p")
+        assert {command.var for command in program} <= {"a", "b"}
+
+
+class TestPopulateSystem:
+    def test_adds_processes_and_runs(self):
+        from repro.memory.recorder import HistoryRecorder
+        from repro.memory.system import DSMSystem
+        from repro.protocols import get
+        from repro.sim.core import Simulator
+        from repro.workloads.scenarios import run_until_quiescent
+
+        sim = Simulator()
+        recorder = HistoryRecorder()
+        system = DSMSystem(sim, "S", get("vector-causal"), recorder=recorder)
+        spec = WorkloadSpec(processes=4, ops_per_process=5)
+        populate_system(system, spec, seed=3)
+        assert len(system.app_processes) == 4
+        run_until_quiescent(sim, [system])
+        assert recorder.count == 20
+
+    def test_segment_round_robin(self):
+        from repro.memory.recorder import HistoryRecorder
+        from repro.memory.system import DSMSystem
+        from repro.protocols import get
+        from repro.sim.core import Simulator
+
+        sim = Simulator()
+        system = DSMSystem(sim, "S", get("vector-causal"), recorder=HistoryRecorder())
+        populate_system(
+            system, WorkloadSpec(processes=4), seed=0, segments=["lan0", "lan1"]
+        )
+        segments = [app.mcs.segment for app in system.app_processes]
+        assert segments == ["lan0", "lan1", "lan0", "lan1"]
+
+    def test_deterministic_given_seed(self):
+        values_a = ValueFactory()
+        values_b = ValueFactory()
+        spec = WorkloadSpec(ops_per_process=10)
+        program_a = random_program(rng_mod.derive(5, "w"), spec, values_a, "p")
+        program_b = random_program(rng_mod.derive(5, "w"), spec, values_b, "p")
+        assert program_a == program_b
