@@ -11,6 +11,8 @@ Commands:
 * ``lattice`` — exhaustively verify the consistency lattice on a small
   universe of histories.
 * ``experiments`` — regenerate the full EXPERIMENTS.md report.
+* ``faults`` — run a named fault-injection campaign (lossy links, flapping
+  partitions, IS-process crash/recovery) and machine-check the outcome.
 * ``demo`` — a 30-second tour: Theorem 1, the §3 ablation, Lemma 1.
 """
 
@@ -195,6 +197,29 @@ def _command_experiments(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_faults(args: argparse.Namespace) -> int:
+    from repro.resilience.campaign import SCENARIOS, run_campaign
+
+    if args.list:
+        width = max(len(name) for name in SCENARIOS)
+        for name in sorted(SCENARIOS):
+            print(f"{name:<{width}}  {SCENARIOS[name].description}")
+        return 0
+    names = sorted(SCENARIOS) if args.scenario == "all" else [args.scenario]
+    exit_code = 0
+    for name in names:
+        result = run_campaign(
+            name,
+            protocols=args.protocols.split(","),
+            seed=args.seed,
+            check_theorem1=not args.no_theorem1,
+        )
+        print(result.summary())
+        if not result.ok:
+            exit_code = 1
+    return exit_code
+
+
 def _command_demo(args: argparse.Namespace) -> int:
     from repro.experiments import lemma1_violation_rate, section3_violation_rate
 
@@ -276,6 +301,29 @@ def build_parser() -> argparse.ArgumentParser:
     )
     experiments_parser.add_argument("--output", default="EXPERIMENTS.md")
 
+    faults_parser = commands.add_parser(
+        "faults", help="run a fault-injection campaign against the resilient IS-link"
+    )
+    faults_parser.add_argument(
+        "--scenario",
+        default="combined",
+        help="scenario name, or 'all' (see --list)",
+    )
+    faults_parser.add_argument(
+        "--protocols",
+        default="vector-causal,vector-causal",
+        help="comma-separated protocol names for the two systems",
+    )
+    faults_parser.add_argument("--seed", type=int, default=0)
+    faults_parser.add_argument(
+        "--no-theorem1",
+        action="store_true",
+        help="skip the (slower) Theorem 1 proof construction check",
+    )
+    faults_parser.add_argument(
+        "--list", action="store_true", help="list the scenario catalogue and exit"
+    )
+
     demo_parser = commands.add_parser("demo", help="a quick tour of the reproduction")
     demo_parser.add_argument("--seed", type=int, default=0)
 
@@ -291,6 +339,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "prove": _command_prove,
         "lattice": _command_lattice,
         "experiments": _command_experiments,
+        "faults": _command_faults,
         "demo": _command_demo,
     }
     return handlers[args.command](args)

@@ -7,17 +7,30 @@ reliable FIFO channel. The IS-protocol variant on each side is chosen from
 that side's MCS protocol: IS-protocol 1 if it satisfies Causal Updating,
 IS-protocol 2 otherwise (the ``pre_update`` upcalls are enabled exactly
 when needed, as the paper prescribes).
+
+The channel joining the IS-processes comes in two flavours:
+
+* ``transport="reliable"`` (default) — the paper's *assumed*
+  :class:`ReliableFifoChannel`;
+* ``transport="resilient"`` — the assumption *discharged*: a
+  :class:`~repro.resilience.transport.ResilientTransport` session that
+  rebuilds exactly-once FIFO delivery over a lossy, reordering,
+  duplicating, partition-prone wire (``faults=``). Adding
+  ``durability="wal"`` additionally makes both IS-processes restartable
+  (:class:`~repro.resilience.recovery.RecoverableISProcess`), journalling
+  their propagation state through a write-ahead log.
 """
 
 from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Union
 
 from repro.errors import ConfigurationError
 from repro.interconnect.is_process import ISProcess, PropagatedPair
 from repro.memory.system import DSMSystem
+from repro.resilience.transport import FaultPlan, ResilientTransport, RetryPolicy
 from repro.sim import rng as rng_mod
 from repro.sim.channel import AvailabilitySchedule, DelayModel, FixedDelay, ReliableFifoChannel
 
@@ -33,8 +46,8 @@ class Bridge:
     system_b: DSMSystem
     isp_a: ISProcess
     isp_b: ISProcess
-    channel_ab: ReliableFifoChannel
-    channel_ba: ReliableFifoChannel
+    channel_ab: Union[ReliableFifoChannel, ResilientTransport]
+    channel_ba: Union[ReliableFifoChannel, ResilientTransport]
 
     @property
     def pairs_a_to_b(self) -> int:
@@ -59,6 +72,7 @@ def _obtain_isp(
     segment: str,
     coalesce_queued: bool = False,
     dedup_incoming: bool = False,
+    durability: Optional[str] = None,
 ) -> ISProcess:
     """Create an IS-process in *system*, or reuse its shared one."""
     if use_pre_update is None:
@@ -71,6 +85,11 @@ def _obtain_isp(
                     f"shared IS-process of {system.name!r} already exists with a "
                     "different IS-protocol variant"
                 )
+            if durability == "wal" and not hasattr(existing, "wal"):
+                raise ConfigurationError(
+                    f"shared IS-process of {system.name!r} already exists without "
+                    "WAL durability"
+                )
             return existing
     label = f"isp:{system.name}" if shared else f"isp:{system.name}:{bridge_name}"
     # The "~" prefix makes the IS-attached MCS node sort *after* every
@@ -79,16 +98,30 @@ def _obtain_isp(
     # their election change just because an interconnection was added —
     # that would alter local response times, contradicting §6.
     mcs = system.new_mcs(f"~{label}", segment=segment)
-    isp = ISProcess(
-        sim=system.sim,
-        name=label,
-        mcs=mcs,
-        recorder=system.recorder,
-        use_pre_update=use_pre_update,
-        read_before_send=read_before_send,
-        coalesce_queued=coalesce_queued,
-        dedup_incoming=dedup_incoming,
-    )
+    if durability == "wal":
+        # Imported lazily: recovery sits above interconnect in the layering.
+        from repro.resilience.recovery import RecoverableISProcess
+
+        isp: ISProcess = RecoverableISProcess(
+            sim=system.sim,
+            name=label,
+            mcs=mcs,
+            recorder=system.recorder,
+            use_pre_update=use_pre_update,
+            read_before_send=read_before_send,
+            coalesce_queued=coalesce_queued,
+        )
+    else:
+        isp = ISProcess(
+            sim=system.sim,
+            name=label,
+            mcs=mcs,
+            recorder=system.recorder,
+            use_pre_update=use_pre_update,
+            read_before_send=read_before_send,
+            coalesce_queued=coalesce_queued,
+            dedup_incoming=dedup_incoming,
+        )
     if shared:
         system._shared_isp = isp  # noqa: SLF001 - deliberate cache on the system
     return isp
@@ -109,6 +142,10 @@ def connect(
     seed: int = 0,
     name: Optional[str] = None,
     channel_factory=None,
+    transport: str = "reliable",
+    faults: Optional[FaultPlan] = None,
+    retry: Optional[RetryPolicy] = None,
+    durability: Optional[str] = None,
 ) -> Bridge:
     """Interconnect two systems with the paper's IS-protocols.
 
@@ -131,6 +168,16 @@ def connect(
             IS-processes (default :class:`ReliableFifoChannel`; the X7
             experiments inject assumption-violating doubles here). Called
             with the same keyword arguments as ``ReliableFifoChannel``.
+        transport: ``"reliable"`` assumes the §1.1 channel;
+            ``"resilient"`` constructs it from lossy parts
+            (:class:`~repro.resilience.transport.ResilientTransport`).
+        faults: adversarial wire behaviour for the resilient transport
+            (drop/duplicate/reorder probabilities, partition windows).
+        retry: retransmission policy for the resilient transport.
+        durability: ``"wal"`` makes both IS-processes restartable with
+            write-ahead-logged propagation state (requires the resilient
+            transport: a crashed process must be able to refuse frames
+            and have the peer retransmit them).
 
     Returns:
         The :class:`Bridge` handle, with link statistics.
@@ -144,14 +191,34 @@ def connect(
         )
     if system_a is system_b:
         raise ConfigurationError("cannot interconnect a system with itself")
+    if transport not in ("reliable", "resilient"):
+        raise ConfigurationError(f"unknown transport {transport!r}")
+    if durability not in (None, "wal"):
+        raise ConfigurationError(f"unknown durability mode {durability!r}")
+    if transport != "resilient":
+        if faults is not None and not faults.is_benign:
+            raise ConfigurationError(
+                "an adversarial fault plan needs transport='resilient' — the "
+                "reliable channel would silently violate its own contract"
+            )
+        if durability is not None:
+            raise ConfigurationError(
+                "durability='wal' requires transport='resilient': a crashed "
+                "IS-process relies on the session layer to retransmit the "
+                "frames it missed"
+            )
+        if retry is not None:
+            raise ConfigurationError("retry policies apply to transport='resilient' only")
+    if transport == "resilient" and channel_factory is not None:
+        raise ConfigurationError("channel_factory and transport='resilient' are exclusive")
     bridge_name = name or f"bridge{next(_bridge_ids)}"
     isp_a = _obtain_isp(
         system_a, bridge_name, shared, use_pre_update, read_before_send, segment_a,
-        coalesce_queued, dedup_incoming,
+        coalesce_queued, dedup_incoming, durability,
     )
     isp_b = _obtain_isp(
         system_b, bridge_name, shared, use_pre_update, read_before_send, segment_b,
-        coalesce_queued, dedup_incoming,
+        coalesce_queued, dedup_incoming, durability,
     )
 
     sim = system_a.sim
@@ -163,23 +230,53 @@ def connect(
 
         return deliver
 
-    factory = channel_factory or ReliableFifoChannel
-    channel_ab = factory(
-        sim,
-        deliver=deliver_to(isp_b),
-        delay=delay,
-        availability=availability,
-        rng=rng_mod.derive(seed, bridge_name, "ab"),
-        name=f"{bridge_name}:{isp_a.name}->{isp_b.name}",
-    )
-    channel_ba = factory(
-        sim,
-        deliver=deliver_to(isp_a),
-        delay=delay,
-        availability=availability,
-        rng=rng_mod.derive(seed, bridge_name, "ba"),
-        name=f"{bridge_name}:{isp_b.name}->{isp_a.name}",
-    )
+    if transport == "resilient":
+        durable = durability == "wal"
+        channel_ab = ResilientTransport(
+            sim,
+            deliver=deliver_to(isp_b),
+            delay=delay,
+            availability=availability,
+            rng=rng_mod.derive(seed, bridge_name, "ab"),
+            name=f"{bridge_name}:{isp_a.name}->{isp_b.name}",
+            faults=faults,
+            retry=retry,
+            sender_up=(lambda: isp_a.alive) if durable else None,
+            receiver_up=(lambda: isp_b.alive) if durable else None,
+        )
+        channel_ba = ResilientTransport(
+            sim,
+            deliver=deliver_to(isp_a),
+            delay=delay,
+            availability=availability,
+            rng=rng_mod.derive(seed, bridge_name, "ba"),
+            name=f"{bridge_name}:{isp_b.name}->{isp_a.name}",
+            faults=faults,
+            retry=retry,
+            sender_up=(lambda: isp_b.alive) if durable else None,
+            receiver_up=(lambda: isp_a.alive) if durable else None,
+        )
+        if durable:
+            isp_a.register_incoming(isp_b.name, channel_ba)
+            isp_b.register_incoming(isp_a.name, channel_ab)
+    else:
+        factory = channel_factory or ReliableFifoChannel
+        channel_ab = factory(
+            sim,
+            deliver=deliver_to(isp_b),
+            delay=delay,
+            availability=availability,
+            rng=rng_mod.derive(seed, bridge_name, "ab"),
+            name=f"{bridge_name}:{isp_a.name}->{isp_b.name}",
+        )
+        channel_ba = factory(
+            sim,
+            deliver=deliver_to(isp_a),
+            delay=delay,
+            availability=availability,
+            rng=rng_mod.derive(seed, bridge_name, "ba"),
+            name=f"{bridge_name}:{isp_b.name}->{isp_a.name}",
+        )
     isp_a.add_peer(isp_b.name, channel_ab)
     isp_b.add_peer(isp_a.name, channel_ba)
     return Bridge(

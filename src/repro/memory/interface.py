@@ -44,6 +44,11 @@ class UpcallHandler:
     #: Whether the MCS-process should deliver ``pre_update`` upcalls.
     wants_pre_update: bool = False
 
+    #: False while the handler's process is crashed: the MCS-process then
+    #: queues ``post_update`` notifications instead of delivering them (see
+    #: :attr:`MCSProcess.missed_upcalls`), to be drained at recovery.
+    accepting_upcalls: bool = True
+
     def pre_update(self, var: str) -> None:
         """Called immediately before the local replica of *var* changes."""
 
@@ -74,6 +79,11 @@ class MCSProcess(SimProcess):
         self.system_name = system_name
         self.segment = segment
         self.upcall_handler: Optional[UpcallHandler] = None
+        #: Replica updates that occurred while the attached handler was not
+        #: accepting upcalls (its IS-process had crashed), in apply order.
+        #: The recovery layer drains these and propagates them late — the
+        #: dial-up spirit of §1.1 applied to process failures.
+        self.missed_upcalls: list[tuple[str, Any]] = []
         #: Optional hook invoked as ``listener(mcs, var, value)`` after every
         #: replica update (own writes included); used by latency metrics.
         self.update_listener: Optional[Callable[["MCSProcess", str, Any], None]] = None
@@ -108,6 +118,12 @@ class MCSProcess(SimProcess):
     def has_interconnect(self) -> bool:
         return self.upcall_handler is not None
 
+    def drain_missed_upcalls(self) -> list[tuple[str, Any]]:
+        """Hand over (and clear) the updates queued while the handler was down."""
+        missed = self.missed_upcalls
+        self.missed_upcalls = []
+        return missed
+
     def _apply_with_upcalls(
         self,
         var: str,
@@ -122,6 +138,14 @@ class MCSProcess(SimProcess):
         no upcalls (otherwise propagated writes would bounce back).
         """
         handler = self.upcall_handler
+        if handler is not None and not own_write and not handler.accepting_upcalls:
+            # The attached IS-process is down. Apply the update and queue
+            # the notification; recovery will propagate it late.
+            apply()
+            if self.update_listener is not None:
+                self.update_listener(self, var, value)
+            self.missed_upcalls.append((var, value))
+            return
         if handler is not None and not own_write:
             if handler.wants_pre_update:
                 handler.pre_update(var)

@@ -441,7 +441,10 @@ SECTIONS = [
         "X7 — necessity of the reliable-FIFO channel (§1.1)",
         "Breaking each channel assumption in isolation: non-FIFO delivery reorders the "
         "propagated pairs (the Lemma 1 failure mode); at-least-once delivery double-"
-        "writes values unless Propagate_in is made idempotent.",
+        "writes values unless Propagate_in is made idempotent. The constructive "
+        "converse — rebuilding the assumed channel from lossy parts and surviving "
+        "IS-process crashes — is the resilience layer (`repro.resilience`, "
+        "`docs/resilience.md`), exercised by `python -m repro faults`.",
         experiment_x7,
     ),
     (

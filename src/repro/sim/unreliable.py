@@ -14,8 +14,13 @@ necessity of each can be demonstrated (experiment X7):
   ``dedup_incoming`` option of :class:`repro.interconnect.ISProcess`
   restores exactly-once semantics on top.
 
-Both remain loss-free: dropping messages would break the propagation
-liveness that every experiment relies on.
+Both remain loss-free by design: each double breaks exactly one
+assumption so X7 can attribute the failure it causes. Channels that
+*also* lose, duplicate, reorder and partition — and the session layer
+that rebuilds the §1.1 contract on top of them (sequence numbers,
+cumulative acks, retransmission) — live in
+:mod:`repro.resilience.transport` (:class:`LossyChannel`,
+:class:`ResilientTransport`).
 """
 
 from __future__ import annotations

@@ -1,0 +1,169 @@
+"""Unit tests for the write-ahead log: record folding, checkpointing,
+recovery isolation, and the optional file mirror."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.resilience.wal import (
+    ACKED,
+    ISSUED,
+    RECV,
+    SENT,
+    VALUE,
+    WalRecord,
+    WriteAheadLog,
+)
+
+
+class TestWalRecord:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WalRecord(kind="fsync")
+
+    def test_defaults(self):
+        record = WalRecord(kind=VALUE, var="x", value=3)
+        assert (record.peer, record.seq) == ("", -1)
+
+
+class TestFolding:
+    def test_sent_tracks_unacked_and_next_seq(self):
+        wal = WriteAheadLog()
+        wal.log(SENT, peer="p", seq=0, var="x", value=1)
+        wal.log(SENT, peer="p", seq=1, var="y", value=2)
+        session = wal.recover().session("p")
+        assert session.next_seq == 2
+        assert session.unacked == {0: ("x", 1), 1: ("y", 2)}
+
+    def test_acked_retires_prefix_cumulatively(self):
+        wal = WriteAheadLog()
+        for seq in range(4):
+            wal.log(SENT, peer="p", seq=seq, var="x", value=seq)
+        wal.log(ACKED, peer="p", seq=3)  # next expected: 3 -> seqs 0..2 retired
+        session = wal.recover().session("p")
+        assert sorted(session.unacked) == [3]
+        assert session.acked_cumulative == 3
+        assert session.next_seq == 4
+
+    def test_recv_records_highwater_seen_pair_and_unissued(self):
+        wal = WriteAheadLog()
+        wal.log(RECV, peer="q", seq=0, var="x", value=7)
+        state = wal.recover()
+        assert state.session("q").next_expected == 1
+        assert state.seen_pairs == {("x", 7)}
+        assert state.unissued == [("q", 0, "x", 7)]
+
+    def test_issued_retires_matching_unissued_entry(self):
+        wal = WriteAheadLog()
+        wal.log(RECV, peer="q", seq=0, var="x", value=7)
+        wal.log(RECV, peer="q", seq=1, var="y", value=8)
+        wal.log(ISSUED, peer="q", seq=0)
+        state = wal.recover()
+        assert state.unissued == [("q", 1, "y", 8)]
+        # The seen-pair set is permanent: issued pairs stay deduplicated.
+        assert state.seen_pairs == {("x", 7), ("y", 8)}
+
+    def test_value_keeps_last_per_variable(self):
+        wal = WriteAheadLog()
+        wal.log(VALUE, var="x", value=1)
+        wal.log(VALUE, var="x", value=2)
+        wal.log(VALUE, var="y", value=9)
+        assert wal.recover().last_values == {"x": 2, "y": 9}
+
+    def test_sessions_are_per_peer(self):
+        wal = WriteAheadLog()
+        wal.log(SENT, peer="p", seq=0, var="x", value=1)
+        wal.log(RECV, peer="q", seq=5, var="y", value=2)
+        state = wal.recover()
+        assert state.session("p").next_expected == 0
+        assert state.session("q").next_seq == 0
+        assert state.session("q").next_expected == 6
+
+
+class TestCheckpointing:
+    def test_checkpoint_truncates_tail_but_keeps_state(self):
+        wal = WriteAheadLog(checkpoint_every=0)
+        wal.log(SENT, peer="p", seq=0, var="x", value=1)
+        assert wal.tail_length == 1
+        wal.checkpoint()
+        assert wal.tail_length == 0
+        assert wal.checkpoints_taken == 1
+        assert wal.recover().session("p").unacked == {0: ("x", 1)}
+
+    def test_automatic_checkpoint_period(self):
+        wal = WriteAheadLog(checkpoint_every=10)
+        for seq in range(25):
+            wal.log(SENT, peer="p", seq=seq, var="x", value=seq)
+        assert wal.checkpoints_taken == 2
+        assert wal.tail_length == 5
+        assert wal.appends == 25
+
+    def test_zero_disables_automatic_checkpoints(self):
+        wal = WriteAheadLog(checkpoint_every=0)
+        for seq in range(300):
+            wal.log(SENT, peer="p", seq=seq, var="x", value=seq)
+        assert wal.checkpoints_taken == 0
+        assert wal.tail_length == 300
+
+    def test_negative_period_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WriteAheadLog(checkpoint_every=-1)
+
+
+class TestRecovery:
+    def test_recover_returns_private_copy(self):
+        wal = WriteAheadLog()
+        wal.log(RECV, peer="q", seq=0, var="x", value=7)
+        state = wal.recover()
+        state.seen_pairs.add(("y", 99))
+        state.unissued.clear()
+        state.session("q").next_expected = 42
+        fresh = wal.recover()
+        assert fresh.seen_pairs == {("x", 7)}
+        assert fresh.unissued == [("q", 0, "x", 7)]
+        assert fresh.session("q").next_expected == 1
+        assert wal.recoveries_served == 2
+
+    def test_recovery_sees_through_checkpoints(self):
+        """A checkpoint must never lose information: recovery after N
+        checkpoints equals recovery from the full record sequence."""
+        mirrored = WriteAheadLog(checkpoint_every=0)
+        checkpointed = WriteAheadLog(checkpoint_every=3)
+        records = [
+            WalRecord(SENT, peer="p", seq=0, var="x", value=1),
+            WalRecord(SENT, peer="p", seq=1, var="y", value=2),
+            WalRecord(RECV, peer="p", seq=0, var="z", value=3),
+            WalRecord(ACKED, peer="p", seq=1),
+            WalRecord(ISSUED, peer="p", seq=0),
+            WalRecord(VALUE, var="x", value=1),
+            WalRecord(RECV, peer="p", seq=1, var="w", value=4),
+        ]
+        for record in records:
+            mirrored.append(record)
+            checkpointed.append(record)
+        a, b = mirrored.recover(), checkpointed.recover()
+        assert a.seen_pairs == b.seen_pairs
+        assert a.unissued == b.unissued
+        assert a.last_values == b.last_values
+        assert a.sessions == b.sessions
+
+
+class TestFileMirror:
+    def test_records_streamed_as_json_lines(self, tmp_path):
+        path = tmp_path / "isp.wal"
+        wal = WriteAheadLog(path=str(path))
+        wal.log(SENT, peer="p", seq=0, var="x", value=1)
+        wal.log(VALUE, var="x", value=1)
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        assert lines == [
+            {"kind": SENT, "peer": "p", "seq": 0, "var": "x", "value": 1},
+            {"kind": VALUE, "peer": "", "seq": -1, "var": "x", "value": 1},
+        ]
+
+    def test_unserialisable_values_fall_back_to_repr(self, tmp_path):
+        path = tmp_path / "isp.wal"
+        wal = WriteAheadLog(path=str(path))
+        wal.log(VALUE, var="x", value={1, 2})
+        payload = json.loads(path.read_text())
+        assert payload["value"] == repr({1, 2})
