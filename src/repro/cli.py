@@ -13,6 +13,9 @@ Commands:
 * ``experiments`` — regenerate the full EXPERIMENTS.md report.
 * ``faults`` — run a named fault-injection campaign (lossy links, flapping
   partitions, IS-process crash/recovery) and machine-check the outcome.
+* ``explore`` — systematically enumerate event interleavings of a small
+  scenario, with partial-order reduction, shrinking of failing schedules
+  to minimal replayable JSON counterexamples, and ``--replay``.
 * ``demo`` — a 30-second tour: Theorem 1, the §3 ablation, Lemma 1.
 """
 
@@ -220,6 +223,99 @@ def _command_faults(args: argparse.Namespace) -> int:
     return exit_code
 
 
+def _command_explore(args: argparse.Namespace) -> int:
+    from repro.errors import ExplorationError
+    from repro.explore import (
+        SCENARIOS,
+        Schedule,
+        explore,
+        get_scenario,
+        replay_schedule,
+        save_schedule,
+        shrink_counterexample,
+    )
+
+    if args.list:
+        width = max(len(name) for name in SCENARIOS)
+        for name in sorted(SCENARIOS):
+            entry = SCENARIOS[name]
+            marker = "violating" if entry.expect_violation else "clean"
+            print(f"{name:<{width}}  [{marker}] {entry.description}")
+        return 0
+
+    if args.replay:
+        try:
+            verdict = replay_schedule(args.replay, check_theorem1=args.theorem1)
+        except ExplorationError as exc:
+            print(f"replay FAILED: {exc}")
+            return 1
+        if verdict.ok:
+            print(f"replayed {args.replay}: clean run, as recorded")
+        else:
+            patterns = sorted({v.pattern for v in verdict.violations})
+            print(
+                f"replayed {args.replay}: reproduces {', '.join(patterns)} "
+                "as recorded"
+            )
+            print(f"  {verdict.violations[0]}")
+        return 0
+
+    entry = get_scenario(args.scenario)
+    result = explore(
+        args.scenario,
+        max_interleavings=args.max_interleavings,
+        max_decisions=args.max_decisions,
+        reduction=args.reduction,
+        check_theorem1=args.theorem1,
+        stop_after=None if args.keep_going else args.stop_after,
+    )
+    print(result.summary())
+    if not result.exhausted:
+        print(
+            "  (search was budget-capped; raise --max-interleavings/"
+            "--max-decisions for an exhaustive verdict)"
+        )
+    for index, counterexample in enumerate(result.violations):
+        shrunk = counterexample
+        if not args.no_shrink:
+            shrunk = shrink_counterexample(counterexample)
+        print(
+            f"  violation {index}: {', '.join(sorted(set(shrunk.patterns)))} "
+            f"in {shrunk.decisions} decisions"
+            + (
+                f" (shrunk from {shrunk.shrunk_from})"
+                if shrunk.shrunk_from is not None
+                else ""
+            )
+        )
+        print(f"    trace: {shrunk.trace}")
+        print(f"    {shrunk.detail}")
+        if args.save and index == 0:
+            path = save_schedule(
+                Schedule.from_counterexample(
+                    shrunk, note=f"found by `repro explore --scenario {args.scenario}`"
+                ),
+                args.save,
+            )
+            print(f"    schedule written to {path}")
+    if entry.expect_violation:
+        if result.violations:
+            return 0
+        print(
+            f"  EXPECTED a violation in {args.scenario!r} but none was found"
+        )
+        return 1
+    if result.violations:
+        return 1
+    if args.require_exhaustive and not result.exhausted:
+        print(
+            f"  REQUIRED an exhaustive search of {args.scenario!r} but the "
+            "budget was hit first"
+        )
+        return 1
+    return 0
+
+
 def _command_demo(args: argparse.Namespace) -> int:
     from repro.experiments import lemma1_violation_rate, section3_violation_rate
 
@@ -324,6 +420,76 @@ def build_parser() -> argparse.ArgumentParser:
         "--list", action="store_true", help="list the scenario catalogue and exit"
     )
 
+    explore_parser = commands.add_parser(
+        "explore",
+        help="systematically explore event interleavings of a small scenario",
+    )
+    explore_parser.add_argument(
+        "--scenario",
+        default="bridge-p1",
+        help="scenario name from the exploration catalogue (see --list)",
+    )
+    explore_parser.add_argument(
+        "--list", action="store_true", help="list the scenario catalogue and exit"
+    )
+    explore_parser.add_argument(
+        "--replay",
+        metavar="SCHEDULE.json",
+        help="replay a saved counterexample schedule instead of exploring",
+    )
+    explore_parser.add_argument(
+        "--max-interleavings",
+        type=int,
+        default=200_000,
+        help=(
+            "total run budget, complete and pruned (default 200000 — "
+            "enough to exhaust the catalogued bridge scenarios)"
+        ),
+    )
+    explore_parser.add_argument(
+        "--max-decisions",
+        type=int,
+        default=128,
+        help="per-run cap on scheduling decisions beyond the replayed prefix",
+    )
+    explore_parser.add_argument(
+        "--reduction",
+        choices=("sleep", "fingerprint", "none"),
+        default="sleep",
+        help="partial-order reduction mode (default: sleep sets + fingerprints)",
+    )
+    explore_parser.add_argument(
+        "--theorem1",
+        action="store_true",
+        help="also run the Theorem 1 proof construction on clean interleavings",
+    )
+    explore_parser.add_argument(
+        "--stop-after",
+        type=int,
+        default=1,
+        help="stop after this many violating schedules (default 1)",
+    )
+    explore_parser.add_argument(
+        "--keep-going",
+        action="store_true",
+        help="search the whole budget even after finding violations",
+    )
+    explore_parser.add_argument(
+        "--require-exhaustive",
+        action="store_true",
+        help="fail (exit 1) unless the whole interleaving space was searched",
+    )
+    explore_parser.add_argument(
+        "--no-shrink",
+        action="store_true",
+        help="report raw counterexample traces without delta-debugging",
+    )
+    explore_parser.add_argument(
+        "--save",
+        metavar="SCHEDULE.json",
+        help="write the first (shrunk) counterexample as a replayable schedule",
+    )
+
     demo_parser = commands.add_parser("demo", help="a quick tour of the reproduction")
     demo_parser.add_argument("--seed", type=int, default=0)
 
@@ -340,6 +506,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "lattice": _command_lattice,
         "experiments": _command_experiments,
         "faults": _command_faults,
+        "explore": _command_explore,
         "demo": _command_demo,
     }
     return handlers[args.command](args)

@@ -39,3 +39,8 @@ class CheckerError(ReproError):
 
 class DeadlockError(SimulationError):
     """The simulation ended while application programs were still blocked."""
+
+
+class ExplorationError(ReproError):
+    """The schedule explorer was misused or a recorded schedule does not
+    match the scenario it is replayed against."""

@@ -1,0 +1,105 @@
+"""Scheduler policies used by the explorer.
+
+A *decision trace* is a list of integers: at the i-th decision point of a
+run (a step where the kernel offers more than one enabled event), the
+trace picks the candidate with that index in the kernel's canonical
+candidate order (sorted by scheduling sequence number). Because runs are
+deterministic given their decisions, the same trace against the same
+scenario always reproduces the same execution — that is what makes
+counterexamples replayable artefacts.
+
+:class:`TracePolicy` follows a trace prefix and then defaults to the first
+candidate (the kernel's own tie-break), recording every decision it takes;
+it is both the replay vehicle and the base class for the exploring policy
+in :mod:`repro.explore.engine`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.errors import ExplorationError
+from repro.sim.core import EnabledEvent, SchedulerPolicy
+
+
+@dataclass(frozen=True)
+class DecisionPoint:
+    """One recorded branch point of a run."""
+
+    position: int  # decision ordinal within the run
+    chosen: int  # index into the canonical candidate list
+    arity: int
+    tags: tuple[Optional[str], ...]
+
+
+def dependent(tag_a: Optional[str], tag_b: Optional[str], aliases: dict) -> bool:
+    """Conservative dependence between two scheduling domains.
+
+    Untagged events conflict with everything. Tagged events conflict when
+    they act on the same target component: a channel delivery targets the
+    channel's destination node, a process event targets the process (or
+    the MCS-process it drives). *aliases* maps IS-process names to the
+    scheduling domain of their attached MCS-process, so a pair arriving on
+    the inter-IS channel conflicts with that IS-process's local writes.
+    """
+    if tag_a is None or tag_b is None:
+        return True
+    return target_of(tag_a, aliases) == target_of(tag_b, aliases)
+
+
+def target_of(tag: str, aliases: dict) -> str:
+    if tag.startswith("proc:"):
+        raw = tag[len("proc:"):]
+    elif tag.startswith("chan:"):
+        _, _, raw = tag.rpartition("->")
+        if not raw:  # per-message tags of assumption-violating channels
+            raw = tag
+    else:
+        raw = tag
+    return aliases.get(raw, raw)
+
+
+class TracePolicy(SchedulerPolicy):
+    """Follow a decision-trace prefix, then the canonical default order."""
+
+    def __init__(self, prefix: Sequence[int] = ()) -> None:
+        self.prefix = list(prefix)
+        self.decisions: list[DecisionPoint] = []
+        self.trace: list[int] = []
+
+    @property
+    def decision_count(self) -> int:
+        return len(self.trace)
+
+    def choose(self, candidates: Sequence[EnabledEvent]) -> int:
+        position = len(self.trace)
+        if position < len(self.prefix):
+            pick = self.prefix[position]
+            if not 0 <= pick < len(candidates):
+                raise ExplorationError(
+                    f"schedule mismatch: decision {position} picks candidate "
+                    f"{pick} but only {len(candidates)} events are enabled — "
+                    "the trace was recorded against a different scenario"
+                )
+        else:
+            pick = self._default_choice(position, candidates)
+        self.trace.append(pick)
+        self.decisions.append(
+            DecisionPoint(
+                position=position,
+                chosen=pick,
+                arity=len(candidates),
+                tags=tuple(candidate.tag for candidate in candidates),
+            )
+        )
+        return pick
+
+    def _default_choice(
+        self, position: int, candidates: Sequence[EnabledEvent]
+    ) -> int:
+        """Choice beyond the prefix; subclasses hook exploration in here."""
+        return 0
+
+
+__all__ = ["TracePolicy", "DecisionPoint", "dependent", "target_of"]

@@ -1,0 +1,109 @@
+"""Catalogue of small-scope scenarios the explorer can rebuild by name.
+
+Replay needs to reconstruct a scenario *identically* on any machine, so a
+schedule stores only a name from this registry, never pickled state. Every
+factory is zero-argument and deterministic; all catalogued scenarios use
+zero delays throughout, which hands the entire interleaving space to the
+scheduler (the explorer only reorders same-timestamp events).
+
+Positive scenarios (``expect_violation=False``) are small-scope instances
+of Theorem 1: exhausting them certifies that *no* admissible interleaving
+breaks causality of S^T. Negative controls (``expect_violation=True``)
+ablate an ingredient the paper proves necessary — the IS read before
+propagation, or causal (rather than sender-FIFO) application — and the
+explorer must *find* the violating schedule.
+"""
+
+from __future__ import annotations
+
+import functools
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import ExplorationError
+from repro.workloads.scenarios import (
+    ScenarioResult,
+    small_bridge_scenario,
+    small_fifo_scenario,
+    small_noread_scenario,
+)
+
+
+@dataclass(frozen=True)
+class ExploreScenario:
+    """A named, reproducible scenario for exploration and replay."""
+
+    name: str
+    factory: Callable[[], ScenarioResult]
+    description: str
+    expect_violation: bool = False
+
+
+def _catalogue(*entries: ExploreScenario) -> dict[str, ExploreScenario]:
+    return {entry.name: entry for entry in entries}
+
+
+SCENARIOS: dict[str, ExploreScenario] = _catalogue(
+    ExploreScenario(
+        name="bridge-p1",
+        factory=functools.partial(small_bridge_scenario, use_pre_update=False),
+        description=(
+            "2 systems x 2 processes x 2 writes over a bridge running "
+            "IS-protocol 1; causal-updating MCS, expect causal S^T in "
+            "every interleaving"
+        ),
+    ),
+    ExploreScenario(
+        name="bridge-p2",
+        factory=functools.partial(small_bridge_scenario, use_pre_update=True),
+        description=(
+            "the same 2x2x2 bridge under IS-protocol 2 (pre-update "
+            "reads); expect causal S^T in every interleaving"
+        ),
+    ),
+    ExploreScenario(
+        name="bridge-noread",
+        factory=functools.partial(
+            small_noread_scenario, read_before_send=False
+        ),
+        description=(
+            "section-3 ablation: the IS-process propagates without "
+            "reading, so some interleaving shows the overwrite before "
+            "the overwritten value"
+        ),
+        expect_violation=True,
+    ),
+    ExploreScenario(
+        name="bridge-noread-control",
+        factory=functools.partial(
+            small_noread_scenario, read_before_send=True
+        ),
+        description=(
+            "the same cast with the IS read restored; no interleaving "
+            "may violate causality"
+        ),
+    ),
+    ExploreScenario(
+        name="faulty-fifo",
+        factory=small_fifo_scenario,
+        description=(
+            "single system on the sender-FIFO apply protocol; some "
+            "interleaving violates transitive causality (A writes x, B "
+            "relays to y, C sees y without x)"
+        ),
+        expect_violation=True,
+    ),
+)
+
+
+def get_scenario(name: str) -> ExploreScenario:
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        known = ", ".join(sorted(SCENARIOS))
+        raise ExplorationError(
+            f"unknown exploration scenario {name!r}; known: {known}"
+        ) from None
+
+
+__all__ = ["ExploreScenario", "SCENARIOS", "get_scenario"]

@@ -99,6 +99,11 @@ class ISProcess(SimProcess, UpcallHandler):
         """
         super().__init__(sim, name)
         self.mcs = mcs
+        # IS events (Propagate_in drains) write to the attached
+        # MCS-process, so they live in its scheduling domain — the
+        # explorer additionally aliases this IS-process's own name to the
+        # same domain for pairs arriving on the inter-IS channel.
+        self.event_tag = f"proc:{getattr(mcs, 'name', name)}"
         self.recorder = recorder
         self.wants_pre_update = use_pre_update
         self.read_before_send = read_before_send
@@ -203,7 +208,9 @@ class ISProcess(SimProcess, UpcallHandler):
             return
         link.flush_scheduled = True
         self.sim.schedule_at(
-            link.channel.next_up_time(), lambda: self._flush_outbox(link, rearm=True)
+            link.channel.next_up_time(),
+            lambda: self._flush_outbox(link, rearm=True),
+            tag=self.event_tag,
         )
 
     def _flush_outbox(self, link: _PeerLink, rearm: bool = False) -> None:

@@ -194,6 +194,11 @@ class AppProcess(SimProcess):
     ) -> None:
         super().__init__(sim, name)
         self.mcs = mcs
+        # The driver's events (program advances, think-time wakeups) all
+        # act on its MCS-process, so they share its scheduling domain: a
+        # SchedulerPolicy must serialise them against deliveries to that
+        # replica, but may freely interleave them with other components.
+        self.event_tag = f"proc:{getattr(mcs, 'name', name)}"
         self.recorder = recorder
         self.is_interconnect = is_interconnect
         self._think_time = think_time

@@ -19,7 +19,13 @@ from repro.sim.channel import (
     UpWindows,
 )
 from repro.sim.clock import LamportClock, LamportTimestamp, VectorClock
-from repro.sim.core import EventHandle, Simulator
+from repro.sim.core import (
+    EnabledEvent,
+    EventHandle,
+    FifoPolicy,
+    SchedulerPolicy,
+    Simulator,
+)
 from repro.sim.network import Network, SendRecord
 from repro.sim.process import SimProcess
 from repro.sim.rng import derive
@@ -28,6 +34,9 @@ from repro.sim.unreliable import DuplicatingChannel, ReorderingChannel
 __all__ = [
     "Simulator",
     "EventHandle",
+    "EnabledEvent",
+    "SchedulerPolicy",
+    "FifoPolicy",
     "VectorClock",
     "LamportClock",
     "LamportTimestamp",

@@ -231,7 +231,11 @@ class ReliableFifoChannel:
             self.stats.total_delay += self._sim.now - send_time
             self._deliver(message)
 
-        self._sim.schedule_at(deliver_at, fire)
+        # Tagged with the channel name: deliveries of one channel direction
+        # form one scheduling domain, so a SchedulerPolicy can interleave
+        # them against other components but never reorder them against
+        # each other (FIFO is part of the channel's contract).
+        self._sim.schedule_at(deliver_at, fire, tag=f"chan:{self.name}")
         return deliver_at
 
     def close(self) -> None:

@@ -5,6 +5,17 @@ and a virtual clock. Determinism is guaranteed by breaking timestamp ties
 with a monotonically increasing sequence number, so two runs with the same
 seed and the same call order produce identical executions. This is what
 makes consistency violations reproducible (see DESIGN.md, substitutions).
+
+Timestamp ties are also where the kernel's only *genuine* nondeterminism
+hides: events scheduled by independent components for the same virtual
+instant have no causally forced order, and the (time, seq) tie-break is
+just one admissible serialisation of them. The :class:`SchedulerPolicy`
+seam exposes that choice: a policy is asked to pick among the *enabled*
+events of the current instant (one candidate per component, so intra-
+component FIFO order is never violated), which is what lets the schedule
+explorer (:mod:`repro.explore`) enumerate interleavings systematically
+instead of following the heap order. With no policy installed — the
+default — the kernel behaves bit-for-bit as it always has.
 """
 
 from __future__ import annotations
@@ -12,7 +23,7 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Callable, Optional
+from typing import Any, Callable, Optional, Sequence
 
 from repro.errors import SimulationError
 
@@ -25,6 +36,60 @@ class _ScheduledEvent:
     seq: int
     callback: Callable[[], None] = field(compare=False)
     cancelled: bool = field(default=False, compare=False)
+    #: Scheduling-domain label: events with the same tag belong to one
+    #: component (a FIFO channel direction, a process) and must fire in
+    #: seq order relative to each other. ``None`` means "unknown
+    #: component"; all untagged events are conservatively kept in order.
+    tag: Optional[str] = field(default=None, compare=False)
+    #: True once a policy-driven step executed the event out of heap
+    #: order; the stale heap entry is skipped when it surfaces.
+    taken: bool = field(default=False, compare=False)
+
+
+@dataclass(frozen=True)
+class EnabledEvent:
+    """What a :class:`SchedulerPolicy` sees of one schedulable event."""
+
+    time: float
+    seq: int
+    tag: Optional[str]
+
+
+class SchedulerPolicy:
+    """Chooses which enabled event fires next at each simulation step.
+
+    At every step the kernel collects the events pending at the minimal
+    timestamp, keeps only the earliest-scheduled event of each tag group
+    (preserving per-component FIFO order), sorts the survivors by seq,
+    and — when more than one remains — asks the policy to pick. The
+    candidate list is deterministic for a deterministic run prefix, which
+    is what makes recorded decision traces replayable.
+    """
+
+    def choose(self, candidates: Sequence[EnabledEvent]) -> int:
+        """Return the index (into *candidates*) of the event to fire.
+
+        Only called when ``len(candidates) > 1``.
+        """
+        raise NotImplementedError
+
+    def executed(self, event: EnabledEvent) -> None:
+        """Called after every event is selected, just before its callback
+        runs — including forced steps with a single candidate. Hooks like
+        sleep-set bookkeeping live here."""
+
+
+class FifoPolicy(SchedulerPolicy):
+    """The reference policy: always pick the lowest-seq candidate.
+
+    Because the globally lowest-seq event of the minimal timestamp is by
+    construction the first candidate, installing this policy reproduces
+    the default (time, seq) heap order bit-for-bit — the property test
+    ``tests/properties/test_prop_explore.py`` pins this down.
+    """
+
+    def choose(self, candidates: Sequence[EnabledEvent]) -> int:
+        return 0
 
 
 class EventHandle:
@@ -61,12 +126,13 @@ class Simulator:
     the next event fires. Any callback may schedule further events.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, policy: Optional[SchedulerPolicy] = None) -> None:
         self._queue: list[_ScheduledEvent] = []
         self._seq = itertools.count()
         self._now = 0.0
         self._running = False
         self._processed = 0
+        self._policy = policy
 
     @property
     def now(self) -> float:
@@ -78,18 +144,41 @@ class Simulator:
         """Number of events executed so far (diagnostic)."""
         return self._processed
 
-    def schedule(self, delay: float, callback: Callable[[], None]) -> EventHandle:
+    @property
+    def policy(self) -> Optional[SchedulerPolicy]:
+        """The installed :class:`SchedulerPolicy`, or None (heap order)."""
+        return self._policy
+
+    @policy.setter
+    def policy(self, policy: Optional[SchedulerPolicy]) -> None:
+        if self._running:
+            raise SimulationError("cannot swap the scheduler policy mid-run")
+        self._policy = policy
+
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[[], None],
+        tag: Optional[str] = None,
+    ) -> EventHandle:
         """Schedule *callback* to run *delay* time units from now.
 
-        Events scheduled with equal fire times run in scheduling order.
+        Events scheduled with equal fire times run in scheduling order
+        (unless a :class:`SchedulerPolicy` reorders events of *different*
+        tags; same-tag events always keep their scheduling order).
         """
         if delay < 0:
             raise SimulationError(f"cannot schedule in the past (delay={delay})")
-        event = _ScheduledEvent(self._now + delay, next(self._seq), callback)
+        event = _ScheduledEvent(self._now + delay, next(self._seq), callback, tag=tag)
         heapq.heappush(self._queue, event)
         return EventHandle(event)
 
-    def schedule_at(self, time: float, callback: Callable[[], None]) -> EventHandle:
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[[], None],
+        tag: Optional[str] = None,
+    ) -> EventHandle:
         """Schedule *callback* at absolute virtual time *time*.
 
         Uses *time* exactly (no now-relative float roundtrip): two events
@@ -98,28 +187,89 @@ class Simulator:
         """
         if time < self._now:
             raise SimulationError(f"cannot schedule in the past (at={time}, now={self._now})")
-        event = _ScheduledEvent(time, next(self._seq), callback)
+        event = _ScheduledEvent(time, next(self._seq), callback, tag=tag)
         heapq.heappush(self._queue, event)
         return EventHandle(event)
 
-    def call_soon(self, callback: Callable[[], None]) -> EventHandle:
+    def call_soon(
+        self, callback: Callable[[], None], tag: Optional[str] = None
+    ) -> EventHandle:
         """Schedule *callback* at the current time, after pending events
         with the same timestamp."""
-        return self.schedule(0.0, callback)
+        return self.schedule(0.0, callback, tag=tag)
 
     def step(self) -> bool:
-        """Run the next pending event. Returns False if the queue is empty."""
-        while self._queue:
-            event = heapq.heappop(self._queue)
-            if event.cancelled:
+        """Run the next pending event. Returns False if the queue is empty.
+
+        Without a policy the next event is the heap minimum by (time,
+        seq). With a :class:`SchedulerPolicy` installed, the policy picks
+        among the enabled events of the minimal timestamp (one per tag
+        group), so equal-time events of independent components may fire
+        in any admissible order.
+        """
+        if self._policy is None:
+            while self._queue:
+                event = heapq.heappop(self._queue)
+                if event.cancelled or event.taken:
+                    continue
+                if event.time < self._now:
+                    raise SimulationError("event queue went backwards in time")
+                self._now = event.time
+                self._processed += 1
+                event.callback()
+                return True
+            return False
+        return self._policy_step()
+
+    def enabled_events(self) -> list[EnabledEvent]:
+        """The events a policy may currently choose among: pending events
+        at the minimal timestamp, reduced to the earliest per tag group
+        (untagged events form one conservative group), sorted by seq."""
+        head = self._peek()
+        if head is None:
+            return []
+        now_time = head.time
+        groups: dict[Optional[str], _ScheduledEvent] = {}
+        for event in self._queue:
+            if event.cancelled or event.taken or event.time != now_time:
                 continue
-            if event.time < self._now:
-                raise SimulationError("event queue went backwards in time")
-            self._now = event.time
-            self._processed += 1
-            event.callback()
-            return True
-        return False
+            held = groups.get(event.tag)
+            if held is None or event.seq < held.seq:
+                groups[event.tag] = event
+        chosen = sorted(groups.values(), key=lambda event: event.seq)
+        return [EnabledEvent(event.time, event.seq, event.tag) for event in chosen]
+
+    def _policy_step(self) -> bool:
+        head = self._peek()
+        if head is None:
+            return False
+        now_time = head.time
+        groups: dict[Optional[str], _ScheduledEvent] = {}
+        for event in self._queue:
+            if event.cancelled or event.taken or event.time != now_time:
+                continue
+            held = groups.get(event.tag)
+            if held is None or event.seq < held.seq:
+                groups[event.tag] = event
+        candidates = sorted(groups.values(), key=lambda event: event.seq)
+        if len(candidates) == 1:
+            chosen = candidates[0]
+        else:
+            infos = [EnabledEvent(e.time, e.seq, e.tag) for e in candidates]
+            index = self._policy.choose(infos)
+            if not 0 <= index < len(candidates):
+                raise SimulationError(
+                    f"scheduler policy chose {index} among {len(candidates)} candidates"
+                )
+            chosen = candidates[index]
+        chosen.taken = True
+        if chosen is self._queue[0]:
+            heapq.heappop(self._queue)
+        self._now = chosen.time
+        self._processed += 1
+        self._policy.executed(EnabledEvent(chosen.time, chosen.seq, chosen.tag))
+        chosen.callback()
+        return True
 
     def run(
         self,
@@ -128,6 +278,10 @@ class Simulator:
     ) -> float:
         """Run events until the queue drains, *until* is reached, or
         *max_events* events have been processed. Returns the final time.
+
+        Event selection per step follows :meth:`step`: heap (time, seq)
+        order by default, or the installed :class:`SchedulerPolicy`'s
+        choices among enabled same-timestamp events.
         """
         if self._running:
             raise SimulationError("Simulator.run() is not reentrant")
@@ -153,17 +307,32 @@ class Simulator:
         return self._now
 
     def _peek(self) -> Optional[_ScheduledEvent]:
-        while self._queue and self._queue[0].cancelled:
+        while self._queue and (self._queue[0].cancelled or self._queue[0].taken):
             heapq.heappop(self._queue)
         return self._queue[0] if self._queue else None
 
     @property
     def pending(self) -> int:
         """Number of live (non-cancelled) events still queued."""
-        return sum(1 for event in self._queue if not event.cancelled)
+        return sum(1 for event in self._queue if not (event.cancelled or event.taken))
+
+    def pending_signature(self) -> tuple[tuple[float, str], ...]:
+        """A schedule-independent digest of the in-flight events: the
+        sorted multiset of (time, tag) pairs. Sequence numbers are
+        deliberately excluded — they depend on the order in which events
+        were *scheduled*, which differs between interleavings that are
+        otherwise state-equivalent (used by the explorer's fingerprints).
+        """
+        return tuple(
+            sorted(
+                (event.time, event.tag or "")
+                for event in self._queue
+                if not (event.cancelled or event.taken)
+            )
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"Simulator(now={self._now:.3f}, pending={self.pending})"
 
 
-__all__ = ["Simulator", "EventHandle"]
+__all__ = ["Simulator", "EventHandle", "EnabledEvent", "SchedulerPolicy", "FifoPolicy"]

@@ -4,6 +4,15 @@ A :class:`SimProcess` is anything with an identity that lives on the event
 loop: MCS-processes, application drivers, and IS-processes all derive from
 it. It only provides naming and scheduling conveniences; behaviour lives in
 subclasses.
+
+Every event a process schedules is tagged with :attr:`event_tag`, the
+process's scheduling domain. The tag does not affect default execution
+order; it tells a :class:`~repro.sim.core.SchedulerPolicy` which events
+belong to the same component (and therefore must keep their relative
+order) and which are independent (and may be interleaved freely). A
+process whose actions really operate on *another* component — an
+application driver whose commands mutate its MCS-process, say — points
+its tag at that component instead (see :class:`repro.memory.interface.AppProcess`).
 """
 
 from __future__ import annotations
@@ -19,14 +28,17 @@ class SimProcess:
     def __init__(self, sim: Simulator, name: str) -> None:
         self.sim = sim
         self.name = name
+        #: Scheduling-domain tag for events this process schedules; see
+        #: module docstring. Subclasses may re-point it after __init__.
+        self.event_tag = f"proc:{name}"
 
     def after(self, delay: float, action: Callable[[], None]) -> EventHandle:
         """Schedule *action* to run *delay* time units from now."""
-        return self.sim.schedule(delay, action)
+        return self.sim.schedule(delay, action, tag=self.event_tag)
 
     def soon(self, action: Callable[[], None]) -> EventHandle:
         """Schedule *action* to run at the current time (after queued peers)."""
-        return self.sim.call_soon(action)
+        return self.sim.call_soon(action, tag=self.event_tag)
 
     @property
     def now(self) -> float:

@@ -55,7 +55,12 @@ class ReorderingChannel(ReliableFifoChannel):
             self.stats.total_delay += self._sim.now - send_time
             self._deliver(message)
 
-        self._sim.schedule_at(deliver_at, fire)
+        # One tag per message, not per channel: this channel's whole point
+        # is that deliveries are NOT ordered, so a SchedulerPolicy must be
+        # free to interleave them.
+        self._sim.schedule_at(
+            deliver_at, fire, tag=f"chan:{self.name}#{self.stats.messages_sent}"
+        )
         return deliver_at
 
 
@@ -99,7 +104,11 @@ class DuplicatingChannel(ReliableFifoChannel):
             def fire_duplicate() -> None:
                 self._deliver(message)
 
-            self._sim.schedule_at(deliver_at + extra + 1e-9, fire_duplicate)
+            self._sim.schedule_at(
+                deliver_at + extra + 1e-9,
+                fire_duplicate,
+                tag=f"chan:{self.name}#dup{self.duplicates_injected}",
+            )
         return deliver_at
 
 

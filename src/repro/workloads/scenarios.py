@@ -256,6 +256,137 @@ def scrambled_pram_violation(lag_seed: int = 2, seed: int = 0) -> ScenarioResult
     return ScenarioResult(sim=sim, systems=[system], interconnection=None, recorder=recorder)
 
 
+def small_bridge_scenario(
+    use_pre_update: bool,
+    read_before_send: bool = True,
+    seed: int = 0,
+) -> ScenarioResult:
+    """Small-scope bridge for exhaustive exploration: 2 systems x 2
+    processes x 2 writes, every delay zero.
+
+    With all delays collapsed to zero every replication delivery, IS
+    flush and program step races at t=0, so the schedule explorer — which
+    only reorders same-timestamp events — controls the *entire*
+    interleaving space. Both systems run the causal-updating
+    vector-causal protocol; the paper (Theorem 1) says every admissible
+    interleaving keeps S^T causal under either IS-protocol, which is
+    exactly what exhausting this scenario certifies at small scope.
+
+    The two writes race to the *same* variable from different systems —
+    the hardest small-scope shape, since every interleaving of local
+    apply, IS propagation and remote apply is distinguishable to the
+    double readers on both sides.
+    """
+    sim = Simulator()
+    recorder = HistoryRecorder()
+    spec = protocol_base.get("vector-causal")
+    s0 = DSMSystem(sim, "S0", spec, recorder=recorder, seed=seed, default_delay=0.0)
+    s1 = DSMSystem(sim, "S1", spec, recorder=recorder, seed=seed + 1, default_delay=0.0)
+    s0.add_application("S0/p0", [Write("x", "a")])
+    s0.add_application("S0/p1", [Read("x"), Read("x")])
+    s1.add_application("S1/q0", [Write("x", "c")])
+    s1.add_application("S1/q1", [Read("x"), Read("x")])
+    connection = interconnect(
+        [s0, s1],
+        topology="chain",
+        delay=0.0,
+        use_pre_update=use_pre_update,
+        read_before_send=read_before_send,
+        seed=seed,
+    )
+    return ScenarioResult(sim=sim, systems=[s0, s1], interconnection=connection, recorder=recorder)
+
+
+def small_noread_scenario(
+    read_before_send: bool, seed: int = 0, reads: int = 2, max_polls: int = 3
+) -> ScenarioResult:
+    """Zero-delay rendering of the §3 no-read ablation.
+
+    Same cast as :func:`section3_counterexample` — a precise-causal S0
+    whose value is overwritten in S1 and propagated back — but with all
+    delays zero, so reaching the violation is purely a matter of event
+    *ordering*: the explorer must deliver the IS-process's untethered
+    ``u``-write to the reader before the writer's own ``v``-update.
+    With ``read_before_send=True`` the IS read tethers ``u`` to ``v``
+    and no interleaving can invert them.
+    """
+    sim = Simulator()
+    recorder = HistoryRecorder()
+    s0 = DSMSystem(
+        sim,
+        "S0",
+        protocol_base.get("precise-causal"),
+        recorder=recorder,
+        seed=seed,
+        default_delay=0.0,
+    )
+    s1 = DSMSystem(
+        sim,
+        "S1",
+        protocol_base.get("vector-causal"),
+        recorder=recorder,
+        seed=seed + 1,
+        default_delay=0.0,
+    )
+    s0.add_application("S0/writer", [Write("x", "v")])
+    # No Sleep separators: the driver's zero think-time wakeup between
+    # operations is already a scheduling point the explorer can defer.
+    s0.add_application("S0/reader", [Read("x")] * reads)
+    s1.add_application(
+        "S1/overwriter",
+        poll_until(
+            "x", "v", then=[Write("x", "u")], poll_interval=0.0, max_polls=max_polls
+        ),
+    )
+    connection = interconnect(
+        [s0, s1],
+        topology="chain",
+        delay=0.0,
+        read_before_send=read_before_send,
+        seed=seed,
+    )
+    return ScenarioResult(sim=sim, systems=[s0, s1], interconnection=connection, recorder=recorder)
+
+
+def small_fifo_scenario(seed: int = 0, max_polls: int = 6) -> ScenarioResult:
+    """Zero-delay rendering of the fifo-apply transitive race.
+
+    A writes ``x``, B reads it and writes ``y``, C may apply the two
+    (sender-FIFO but causally unordered) updates inverted. The original
+    :func:`fifo_causality_violation` forces the inversion with a 50-unit
+    link delay; here every delivery is at t=0 and the explorer has to
+    *choose* the inverted application order at C's replica.
+    """
+    sim = Simulator()
+    recorder = HistoryRecorder()
+    system = DSMSystem(
+        sim,
+        "S0",
+        protocol_base.get("fifo-apply"),
+        recorder=recorder,
+        seed=seed,
+        default_delay=0.0,
+    )
+    system.add_application("A", [Write("x", "1")])
+    system.add_application(
+        "B",
+        poll_until(
+            "x", "1", then=[Write("y", "2")], poll_interval=0.0, max_polls=max_polls
+        ),
+    )
+
+    def observer() -> Iterator[Command]:
+        for _ in range(max_polls):
+            seen = yield Read("y")
+            if seen == "2":
+                yield Read("x")
+                return
+            yield Sleep(0.0)
+
+    system.add_application("C", observer())
+    return ScenarioResult(sim=sim, systems=[system], interconnection=None, recorder=recorder)
+
+
 __all__ = [
     "ScenarioResult",
     "run_until_quiescent",
@@ -265,4 +396,7 @@ __all__ = [
     "lemma1_scenario",
     "fifo_causality_violation",
     "scrambled_pram_violation",
+    "small_bridge_scenario",
+    "small_noread_scenario",
+    "small_fifo_scenario",
 ]

@@ -1,0 +1,34 @@
+"""Shared fixtures: the counterexample-schedule corpus.
+
+``tests/corpus/*.json`` holds minimised, replayable counterexample
+schedules produced by ``repro explore`` + delta-debugging. Any test that
+takes a ``corpus_schedule`` argument is parametrised over every file in
+the corpus; adding a schedule file automatically adds regression
+coverage.
+"""
+
+from pathlib import Path
+
+import pytest
+
+CORPUS_DIR = Path(__file__).parent / "corpus"
+
+
+def pytest_generate_tests(metafunc):
+    if "corpus_schedule" in metafunc.fixturenames:
+        paths = sorted(CORPUS_DIR.glob("*.json"))
+        metafunc.parametrize(
+            "corpus_schedule", paths, ids=[path.stem for path in paths]
+        )
+
+
+@pytest.fixture
+def replay_corpus():
+    """Strictly replay a schedule file: the recorded violation patterns
+    must reproduce exactly (raises ExplorationError otherwise)."""
+    from repro.explore import replay_schedule
+
+    def _replay(path, **kwargs):
+        return replay_schedule(path, **kwargs)
+
+    return _replay

@@ -1,0 +1,108 @@
+"""End-to-end exploration campaigns: the acceptance surface of the
+schedule explorer.
+
+Three layers, mirroring docs/explorer.md:
+
+* **Exhaustion** — the 2 systems x 2 processes x 2 writes bridge is
+  searched to completion under both IS-protocols with zero violations
+  (Theorem 1 certified at small scope, including the proof
+  construction).
+* **Negative controls** — the explorer *finds* the paper's §3 no-read
+  race and the faulty sender-FIFO transitivity race, and delta-debugging
+  shrinks each counterexample to a handful of decisions that replay
+  deterministically.
+* **Corpus regression** — every minimized schedule in ``tests/corpus/``
+  replays strictly (same violation patterns as recorded).
+"""
+
+import pytest
+
+from repro.explore import (
+    explore,
+    get_scenario,
+    replay_schedule,
+    run_with_trace,
+    shrink_counterexample,
+)
+
+
+@pytest.mark.slow
+class TestExhaustiveBridge:
+    """The CI smoke property: small-scope certification of Theorem 1."""
+
+    @pytest.mark.parametrize("scenario", ["bridge-p1", "bridge-p2"])
+    def test_bridge_exhausts_clean(self, scenario):
+        result = explore(
+            scenario,
+            max_interleavings=400_000,
+            stop_after=None,
+            check_theorem1=True,
+        )
+        assert result.exhausted, result.summary()
+        assert not result.violations, result.summary()
+        # The space must be genuinely combinatorial (a scenario that
+        # admits a handful of interleavings would certify nothing) and
+        # the reductions must actually be pruning.
+        assert result.explored > 100
+        assert result.pruned_fingerprint > 0
+        assert result.pruned_sleep > 0
+
+
+class TestNegativeControls:
+    """The explorer must find the races the paper warns about."""
+
+    def test_noread_ablation_found_and_shrinks(self):
+        result = explore("bridge-noread", stop_after=1, max_interleavings=5_000)
+        assert result.violations, result.summary()
+        counterexample = result.violations[0]
+        assert "CyclicHB" in counterexample.patterns
+
+        shrunk = shrink_counterexample(counterexample)
+        assert shrunk.decisions <= 12
+        assert shrunk.shrunk_from == counterexample.decisions
+        assert set(shrunk.patterns) & set(counterexample.patterns)
+
+    def test_noread_control_is_clean(self):
+        # Same cast with the IS read restored: no interleaving violates.
+        result = explore(
+            "bridge-noread-control", stop_after=None, max_interleavings=20_000
+        )
+        assert not result.violations, result.summary()
+
+    def test_faulty_fifo_found_and_shrinks(self):
+        result = explore("faulty-fifo", stop_after=1, max_interleavings=5_000)
+        assert result.violations, result.summary()
+        counterexample = result.violations[0]
+        assert "WriteHBInitRead" in counterexample.patterns
+
+        shrunk = shrink_counterexample(counterexample)
+        assert shrunk.decisions <= 12
+
+    def test_shrunk_trace_replays_deterministically(self):
+        result = explore("faulty-fifo", stop_after=1, max_interleavings=5_000)
+        shrunk = shrink_counterexample(result.violations[0])
+        factory = get_scenario("faulty-fifo").factory
+
+        patterns_seen = []
+        for _ in range(3):
+            _, verdict = run_with_trace(factory, shrunk.trace)
+            patterns_seen.append(
+                tuple(sorted({v.pattern for v in verdict.violations}))
+            )
+        assert patterns_seen[0] == patterns_seen[1] == patterns_seen[2]
+        assert "WriteHBInitRead" in patterns_seen[0]
+
+
+class TestCorpusRegression:
+    def test_corpus_schedule_replays_strictly(self, corpus_schedule, replay_corpus):
+        verdict = replay_corpus(corpus_schedule)
+        # Every checked-in schedule is a minimized counterexample; strict
+        # replay has already verified the recorded patterns reproduce.
+        assert not verdict.ok
+
+    def test_corpus_is_minimized(self, corpus_schedule):
+        from repro.explore import load_schedule
+
+        loaded = load_schedule(corpus_schedule)
+        assert len(loaded.trace) <= 12
+        assert loaded.expected_patterns

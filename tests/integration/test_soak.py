@@ -14,6 +14,7 @@ from repro.workloads import WorkloadSpec, build_interconnected
 from repro.workloads.scenarios import run_until_quiescent
 
 
+@pytest.mark.slow
 class TestSoak:
     def test_six_system_chain(self):
         result = build_interconnected(

@@ -6,6 +6,8 @@ claim under every assignment — and that the E8 ablation's violation is a
 *timing* phenomenon the sweep can hunt down.
 """
 
+import pytest
+
 from repro.interconnect.topology import interconnect
 from repro.memory.program import Command, Read, Sleep, Write
 from repro.memory.recorder import HistoryRecorder
@@ -47,6 +49,7 @@ LINKS = ["slow-link", "bridge", "overwriter-lan"]
 CHOICES = [0.5, 4.0, 30.0]
 
 
+@pytest.mark.slow
 class TestTheoremAcrossTimings:
     def test_with_read_step_causal_under_all_27_timings(self):
         outcome = sweep_timings(

@@ -1,0 +1,188 @@
+"""Unit tests for the kernel's SchedulerPolicy seam."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.core import EnabledEvent, FifoPolicy, SchedulerPolicy, Simulator
+
+
+class RecordingPolicy(SchedulerPolicy):
+    """Picks a scripted index (default 0) and records what it saw."""
+
+    def __init__(self, picks=()):
+        self.picks = list(picks)
+        self.calls = []
+        self.fired = []
+
+    def choose(self, candidates):
+        self.calls.append(tuple(candidates))
+        return self.picks.pop(0) if self.picks else 0
+
+    def executed(self, event):
+        self.fired.append(event)
+
+
+def _collect(sim, fired, label, delay=1.0, tag=None):
+    sim.schedule(delay, lambda: fired.append(label), tag=tag)
+
+
+class TestDefaultEquivalence:
+    def test_fifo_policy_matches_heap_order(self):
+        runs = []
+        for policy in (None, FifoPolicy()):
+            sim = Simulator(policy=policy)
+            fired = []
+            for label in range(6):
+                tag = f"c{label % 3}"
+                _collect(sim, fired, label, delay=1.0, tag=tag)
+            _collect(sim, fired, "late", delay=2.0)
+            sim.run()
+            runs.append(fired)
+        assert runs[0] == runs[1]
+
+    def test_policy_not_consulted_for_single_candidate(self):
+        policy = RecordingPolicy()
+        sim = Simulator(policy=policy)
+        fired = []
+        _collect(sim, fired, "a", delay=1.0, tag="x")
+        _collect(sim, fired, "b", delay=2.0, tag="y")
+        sim.run()
+        assert fired == ["a", "b"]
+        assert policy.calls == []  # never more than one candidate at a time
+        assert [event.tag for event in policy.fired] == ["x", "y"]
+
+
+class TestCandidateGrouping:
+    def test_same_tag_events_keep_fifo_order(self):
+        policy = RecordingPolicy()
+        sim = Simulator(policy=policy)
+        fired = []
+        _collect(sim, fired, "a1", tag="a")
+        _collect(sim, fired, "a2", tag="a")
+        _collect(sim, fired, "b1", tag="b")
+        sim.run()
+        # Only the head of each tag group is ever offered: a2 must not be
+        # schedulable before a1.
+        for candidates in policy.calls:
+            assert len(candidates) <= 2
+        assert fired.index("a1") < fired.index("a2")
+
+    def test_untagged_events_form_one_conservative_group(self):
+        policy = RecordingPolicy(picks=[1, 1, 1, 1])
+        sim = Simulator(policy=policy)
+        fired = []
+        _collect(sim, fired, "u1")
+        _collect(sim, fired, "u2")
+        _collect(sim, fired, "t", tag="t")
+        sim.run()
+        assert fired.index("u1") < fired.index("u2")
+
+    def test_policy_can_reorder_independent_tags(self):
+        policy = RecordingPolicy(picks=[2])
+        sim = Simulator(policy=policy)
+        fired = []
+        _collect(sim, fired, "a", tag="a")
+        _collect(sim, fired, "b", tag="b")
+        _collect(sim, fired, "c", tag="c")
+        sim.run()
+        assert fired[0] == "c"
+        assert set(fired) == {"a", "b", "c"}
+        # After c fired, a and b are offered again.
+        assert [tuple(e.tag for e in call) for call in policy.calls][0] == (
+            "a",
+            "b",
+            "c",
+        )
+
+    def test_candidates_sorted_by_seq(self):
+        policy = RecordingPolicy()
+        sim = Simulator(policy=policy)
+        fired = []
+        _collect(sim, fired, "b", tag="b")
+        _collect(sim, fired, "a", tag="a")
+        sim.run()
+        (candidates,) = policy.calls
+        assert [event.tag for event in candidates] == ["b", "a"]
+        assert candidates[0].seq < candidates[1].seq
+
+
+class TestPolicyProtocol:
+    def test_out_of_range_choice_raises(self):
+        class Bad(SchedulerPolicy):
+            def choose(self, candidates):
+                return len(candidates)
+
+        sim = Simulator(policy=Bad())
+        sim.schedule(1.0, lambda: None, tag="a")
+        sim.schedule(1.0, lambda: None, tag="b")
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_policy_swap_mid_run_rejected(self):
+        sim = Simulator()
+
+        def swap():
+            sim.policy = FifoPolicy()
+
+        sim.schedule(1.0, swap)
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_policy_swap_between_runs_allowed(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        sim.policy = FifoPolicy()
+        assert isinstance(sim.policy, FifoPolicy)
+
+    def test_executed_hook_sees_every_event(self):
+        policy = RecordingPolicy(picks=[1])
+        sim = Simulator(policy=policy)
+        fired = []
+        _collect(sim, fired, "a", tag="a")
+        _collect(sim, fired, "b", tag="b")
+        sim.run()
+        assert [event.tag for event in policy.fired] == ["b", "a"]
+
+
+class TestIntrospection:
+    def test_enabled_events_lists_group_heads(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None, tag="a")
+        sim.schedule(1.0, lambda: None, tag="a")
+        sim.schedule(1.0, lambda: None, tag="b")
+        sim.schedule(2.0, lambda: None, tag="c")
+        enabled = sim.enabled_events()
+        assert [event.tag for event in enabled] == ["a", "b"]
+        assert all(event.time == 1.0 for event in enabled)
+
+    def test_enabled_events_empty_when_drained(self):
+        assert Simulator().enabled_events() == []
+
+    def test_pending_signature_ignores_seq(self):
+        sim_a = Simulator()
+        sim_b = Simulator()
+        sim_a.schedule(1.0, lambda: None, tag="x")
+        sim_a.schedule(1.0, lambda: None, tag="y")
+        # Opposite scheduling order in sim_b: same signature.
+        sim_b.schedule(1.0, lambda: None, tag="y")
+        sim_b.schedule(1.0, lambda: None, tag="x")
+        assert sim_a.pending_signature() == sim_b.pending_signature()
+
+    def test_cancelled_events_not_offered(self):
+        policy = RecordingPolicy()
+        sim = Simulator(policy=policy)
+        fired = []
+        handle = sim.schedule(1.0, lambda: fired.append("a"), tag="a")
+        _collect(sim, fired, "b", tag="b")
+        handle.cancel()
+        sim.run()
+        assert fired == ["b"]
+        assert policy.calls == []
+
+
+class TestEnabledEventValue:
+    def test_enabled_event_is_frozen(self):
+        event = EnabledEvent(1.0, 3, "a")
+        with pytest.raises(AttributeError):
+            event.tag = "b"
