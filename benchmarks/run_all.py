@@ -1,0 +1,17 @@
+#!/usr/bin/env python
+"""Run the whole benchmark suite: ``python benchmarks/run_all.py [--quick]``.
+
+Thin wrapper over ``python -m repro bench`` (see
+:mod:`repro.obs.bench`) for people who land in this directory first.
+Writes ``BENCH_observability.json`` next to this directory.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.cli import main  # noqa: E402
+
+if __name__ == "__main__":
+    raise SystemExit(main(["bench", *sys.argv[1:]]))

@@ -30,8 +30,10 @@ from repro.checker.graph import Relation
 from repro.checker.report import CheckResult, Violation
 from repro.memory.history import History
 from repro.memory.operations import Operation
+from repro.obs.profile import observe_size, profiled
 
 
+@profiled("checker.causal_order")
 def causal_order(history: History) -> tuple[list[Operation], Relation]:
     """The operations of *history* and their causal order (Definition 2).
 
@@ -106,11 +108,13 @@ def _saturate(
             return closed, None
 
 
+@profiled("checker.check_causal")
 def check_causal(history: History) -> CheckResult:
     """Decide whether *history* is a causal computation (Definition 4)."""
     result = CheckResult(model="causal", ok=True, size=len(history))
     if not history:
         return result
+    observe_size("checker.history_ops", len(history))
     history.validate()
     try:
         history.reads_from()

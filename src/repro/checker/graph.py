@@ -9,6 +9,8 @@ from __future__ import annotations
 
 from typing import Iterator, Optional, Sequence
 
+from repro.obs.profile import observe_size, profiled
+
 
 class Relation:
     """A binary relation over ``range(size)`` with bitmask adjacency."""
@@ -45,8 +47,10 @@ class Relation:
         dup._succ = list(self._succ)
         return dup
 
+    @profiled("checker.transitive_closure")
     def transitive_closure(self) -> "Relation":
         """The transitive closure (fixpoint of mask propagation)."""
+        observe_size("checker.graph_nodes", self.size)
         closure = self.copy()
         succ = closure._succ
         changed = True

@@ -16,12 +16,25 @@ Commands:
 * ``explore`` — systematically enumerate event interleavings of a small
   scenario, with partial-order reduction, shrinking of failing schedules
   to minimal replayable JSON counterexamples, and ``--replay``.
+* ``trace`` — record a run as a structured event stream (JSONL), convert
+  it to a Chrome ``trace_event`` file for chrome://tracing / Perfetto,
+  or summarize it.
+* ``stats`` — run a deterministic interconnected workload with the
+  metrics registry attached and compare the measured message counts
+  against the §6 closed-form model.
+* ``bench`` — run the ``benchmarks/`` suite and write a machine-readable
+  ``BENCH_observability.json`` report.
 * ``demo`` — a 30-second tour: Theorem 1, the §3 ablation, Lemma 1.
+
+``-v``/``-q`` (before the subcommand) raise or silence the module
+loggers: ``repro -v explore ...`` shows exploration progress at INFO,
+``-vv`` at DEBUG; by default nothing is logged.
 """
 
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
 from typing import Optional, Sequence
 
@@ -48,6 +61,27 @@ CHECKERS = {
     "pram": check_pram,
     "cache": check_cache,
 }
+
+
+def configure_logging(verbosity: int) -> None:
+    """Map ``-v``/``-q`` counts onto the ``repro`` logger hierarchy.
+
+    0 (default) keeps the library silent (WARNING), 1 shows progress
+    (INFO), 2+ shows internals (DEBUG); negative values silence even
+    warnings.
+    """
+    if verbosity >= 2:
+        level = logging.DEBUG
+    elif verbosity == 1:
+        level = logging.INFO
+    elif verbosity == 0:
+        level = logging.WARNING
+    else:
+        level = logging.ERROR
+    logging.basicConfig(
+        stream=sys.stderr, format="%(levelname)s %(name)s: %(message)s"
+    )
+    logging.getLogger("repro").setLevel(level)
 
 
 def _command_protocols(args: argparse.Namespace) -> int:
@@ -316,6 +350,165 @@ def _command_explore(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_trace(args: argparse.Namespace) -> int:
+    from repro.obs import JsonlSink, Tracer, read_jsonl, summarize
+    from repro.obs.chrome import write_chrome
+
+    if args.input is None and args.out is None:
+        print("nothing to do: give an event file to load, or --out to record one")
+        return 2
+
+    if args.input is not None:
+        events = read_jsonl(args.input)
+        print(f"loaded {len(events)} events from {args.input}")
+    else:
+        for name in args.protocols.split(","):
+            get(name)  # fail fast on typos
+        sink = JsonlSink(args.out)
+        tracer = Tracer(sink)
+        spec = WorkloadSpec(
+            processes=args.processes,
+            ops_per_process=args.ops,
+            write_ratio=args.write_ratio,
+        )
+        result = build_interconnected(
+            args.protocols.split(","),
+            spec,
+            topology=args.topology,
+            seed=args.seed,
+            tracer=tracer,
+        )
+        run_until_quiescent(result.sim, result.systems)
+        tracer.close()
+        print(
+            f"recorded {sink.written} events to {args.out} "
+            f"(virtual time 0..{result.sim.now:.1f})"
+        )
+        events = read_jsonl(args.out)
+
+    if args.to_chrome:
+        records = write_chrome(events, args.to_chrome)
+        print(
+            f"wrote {records} Chrome trace records to {args.to_chrome} "
+            "(load in chrome://tracing or https://ui.perfetto.dev)"
+        )
+    if args.summarize:
+        print()
+        print(summarize(events).render())
+    return 0
+
+
+def _command_stats(args: argparse.Namespace) -> int:
+    from repro.analysis.model import (
+        flat_messages_per_write,
+        interconnected_messages_per_write,
+    )
+    from repro.metrics.traffic import TrafficMeter
+    from repro.obs import MetricsRegistry
+
+    protocols = args.protocols.split(",")
+    for name in protocols:
+        get(name)
+    registry = MetricsRegistry()
+    spec = WorkloadSpec(
+        processes=args.processes,
+        ops_per_process=args.ops,
+        write_ratio=args.write_ratio,
+    )
+    result = build_interconnected(
+        protocols,
+        spec,
+        topology=args.topology,
+        shared=not args.per_edge,
+        seed=args.seed,
+        metrics=registry,
+    )
+    meter = TrafficMeter().attach(*(system.network for system in result.systems))
+    run_until_quiescent(result.sim, result.systems)
+
+    writes = sum(1 for op in result.global_history if op.is_write)
+    if result.interconnection is not None:
+        intra = result.interconnection.intra_system_messages
+        inter = result.interconnection.inter_system_messages
+        total_mcs = result.interconnection.total_app_mcs
+        predicted = interconnected_messages_per_write(
+            total_mcs, len(result.systems), shared=not args.per_edge
+        )
+    else:
+        intra = sum(system.network.messages_sent for system in result.systems)
+        inter = 0
+        total_mcs = sum(len(system.mcs_processes) for system in result.systems)
+        predicted = flat_messages_per_write(total_mcs)
+
+    print(f"ran {len(protocols)} system(s): {writes} writes, "
+          f"{intra} intra-system + {inter} inter-system messages")
+    print()
+    print("metrics registry:")
+    print(registry.render())
+    print()
+
+    exit_code = 0
+
+    def check(label: str, observed, expected) -> None:
+        nonlocal exit_code
+        ok = observed == expected
+        mark = "ok" if ok else "MISMATCH"
+        print(f"  {label:<46} observed={observed:<8g} expected={expected:<8g} {mark}")
+        if not ok:
+            exit_code = 1
+
+    print("registry vs ground truth (simulator counters):")
+    check("net_messages_total == intra-system sends", registry.total("net_messages_total"), intra)
+    check("TrafficMeter.total == intra-system sends", meter.total, intra)
+    if result.interconnection is not None:
+        check(
+            "is_pairs_sent_total == inter-system pairs",
+            registry.total("is_pairs_sent_total"),
+            inter,
+        )
+    check(
+        "ops_completed_total == application operations",
+        registry.total("ops_completed_total"),
+        len(result.global_history),
+    )
+
+    print()
+    print(f"§6 model (n={total_mcs} app MCS-processes, m={len(protocols)} systems):")
+    if writes:
+        observed_per_write = (intra + inter) / writes
+        model_holds = all(name == "vector-causal" for name in protocols)
+        ok = abs(observed_per_write - predicted) < 1e-9
+        mark = "ok" if ok else ("MISMATCH" if model_holds else "(model assumes vector-causal)")
+        print(
+            f"  messages per write: observed {observed_per_write:g}, "
+            f"predicted {predicted} {mark}"
+        )
+        if model_holds and not ok:
+            exit_code = 1
+    return exit_code
+
+
+def _command_bench(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.obs.bench import render_results, run_benchmarks
+
+    results, report_path = run_benchmarks(
+        bench_dir=Path(args.dir) if args.dir else None,
+        only=args.only or None,
+        quick=args.quick,
+        report_path=Path(args.output) if args.output else None,
+        progress=lambda name: print(f"running {name} ...", file=sys.stderr, flush=True),
+    )
+    print(render_results(results))
+    for result in results:
+        if not result.ok:
+            print(f"\n--- {result.name} (exit {result.returncode}) ---")
+            print(result.output_tail)
+    print(f"\nreport written to {report_path}")
+    return 0 if all(result.ok for result in results) else 1
+
+
 def _command_demo(args: argparse.Namespace) -> int:
     from repro.experiments import lemma1_violation_rate, section3_violation_rate
 
@@ -343,6 +536,20 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Reproduction of 'On the interconnection of causal memory systems'",
+    )
+    parser.add_argument(
+        "-v",
+        "--verbose",
+        action="count",
+        default=0,
+        help="show library log output (-v progress, -vv internals)",
+    )
+    parser.add_argument(
+        "-q",
+        "--quiet",
+        action="count",
+        default=0,
+        help="silence library warnings too",
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
@@ -490,6 +697,72 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the first (shrunk) counterexample as a replayable schedule",
     )
 
+    trace_parser = commands.add_parser(
+        "trace",
+        help="record a structured event trace, convert it to Chrome format, or summarize it",
+    )
+    trace_parser.add_argument(
+        "input",
+        nargs="?",
+        help="an existing event JSONL file to convert/summarize (omit to record a new run)",
+    )
+    trace_parser.add_argument(
+        "--out", help="record a run and write its event stream to this JSONL file"
+    )
+    trace_parser.add_argument(
+        "--to-chrome",
+        metavar="CHROME.json",
+        help="also write a Chrome trace_event file (chrome://tracing, Perfetto)",
+    )
+    trace_parser.add_argument(
+        "--summarize", action="store_true", help="print an aggregate summary of the events"
+    )
+    trace_parser.add_argument(
+        "--protocols",
+        default="vector-causal,vector-causal",
+        help="comma-separated protocol names, one per system (recording only)",
+    )
+    trace_parser.add_argument("--topology", choices=("star", "chain"), default="star")
+    trace_parser.add_argument("--processes", type=int, default=2)
+    trace_parser.add_argument("--ops", type=int, default=4)
+    trace_parser.add_argument("--write-ratio", type=float, default=0.5)
+    trace_parser.add_argument("--seed", type=int, default=0)
+
+    stats_parser = commands.add_parser(
+        "stats",
+        help="run an instrumented workload and compare message counts to the §6 model",
+    )
+    stats_parser.add_argument(
+        "--protocols",
+        default="vector-causal,vector-causal",
+        help="comma-separated protocol names, one per system",
+    )
+    stats_parser.add_argument("--topology", choices=("star", "chain"), default="star")
+    stats_parser.add_argument("--per-edge", action="store_true", help="per-edge IS-processes")
+    stats_parser.add_argument("--processes", type=int, default=2)
+    stats_parser.add_argument("--ops", type=int, default=5)
+    stats_parser.add_argument("--write-ratio", type=float, default=0.5)
+    stats_parser.add_argument("--seed", type=int, default=0)
+
+    bench_parser = commands.add_parser(
+        "bench", help="run the benchmark suite and write BENCH_observability.json"
+    )
+    bench_parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="run each benchmark once as a correctness smoke (no timing stats)",
+    )
+    bench_parser.add_argument(
+        "--only",
+        action="append",
+        metavar="SUBSTRING",
+        help="only run benchmark modules whose name contains this (repeatable)",
+    )
+    bench_parser.add_argument(
+        "--output", help="report path (default: BENCH_observability.json in the repo root)"
+    )
+    bench_parser.add_argument("--dir", help="benchmarks directory (default: auto-detect)")
+
     demo_parser = commands.add_parser("demo", help="a quick tour of the reproduction")
     demo_parser.add_argument("--seed", type=int, default=0)
 
@@ -498,6 +771,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    configure_logging(args.verbose - args.quiet)
     handlers = {
         "protocols": _command_protocols,
         "run": _command_run,
@@ -507,6 +781,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "experiments": _command_experiments,
         "faults": _command_faults,
         "explore": _command_explore,
+        "trace": _command_trace,
+        "stats": _command_stats,
+        "bench": _command_bench,
         "demo": _command_demo,
     }
     return handlers[args.command](args)

@@ -29,6 +29,8 @@ proof construction. Failing traces are reported as
 
 from __future__ import annotations
 
+import logging
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Optional, Sequence
 
@@ -38,6 +40,8 @@ from repro.errors import CheckerError, ExplorationError
 from repro.explore.fingerprint import _iter_is_processes, state_fingerprint
 from repro.explore.policy import TracePolicy, dependent
 from repro.sim.core import EnabledEvent
+
+logger = logging.getLogger(__name__)
 
 #: Reduction modes, strongest first.
 REDUCTIONS = ("sleep", "fingerprint", "none")
@@ -219,16 +223,23 @@ def run_with_trace(
     *,
     max_steps: int = 100_000,
     check_theorem1: bool = False,
+    instruments=None,
 ):
     """Replay *trace* against a fresh scenario; return (result, verdict).
 
     The verdict is the causal check of the global computation alpha^T,
     downgraded to a failing pseudo-verdict if the Theorem 1 construction
     (when requested) does not go through.
+
+    *instruments* (a :class:`repro.obs.instruments.Instruments`) attaches
+    tracing/metrics to the replayed run — the supported way to get a full
+    event timeline of a counterexample schedule.
     """
     result = factory()
     policy = TracePolicy(trace)
     result.sim.policy = policy
+    if instruments is not None:
+        result.sim.instruments = instruments
     result.sim.run(max_events=max_steps)
     if result.sim.pending:
         raise ExplorationError(
@@ -278,6 +289,7 @@ def explore(
     check_theorem1: bool = False,
     stop_after: Optional[int] = 1,
     on_progress: Optional[Callable[[ExploreResult], None]] = None,
+    metrics=None,
 ) -> ExploreResult:
     """Systematically explore the interleavings of a small scenario.
 
@@ -299,6 +311,10 @@ def explore(
         stop_after: stop once this many violating schedules were found
             (None: keep searching the whole budget).
         on_progress: called with the running result every 100 runs.
+        metrics: optional :class:`repro.obs.metrics.MetricsRegistry`
+            receiving per-outcome run counters and a runs-per-second
+            gauge (wall-clock — exploration throughput is a real-time
+            quantity, unlike anything recorded in traces).
     """
     if reduction not in REDUCTIONS:
         raise ExplorationError(
@@ -312,6 +328,8 @@ def explore(
     visited: dict[int, list[frozenset[str]]] = {}
     stack: list[_Branch] = [_Branch(prefix=(), sleep=frozenset())]
     budget_hit = False
+    started_at = time.perf_counter()
+    logger.debug("exploring %r (reduction=%s)", scenario, reduction)
     while stack:
         if outcome.runs >= max_interleavings:
             budget_hit = True
@@ -353,6 +371,12 @@ def explore(
                 outcome.truncated += 1
             verdict = _verdict(result, check_theorem1)
             if not verdict.ok:
+                logger.info(
+                    "violating schedule in %r after %d runs: %s",
+                    scenario,
+                    outcome.runs,
+                    [v.pattern for v in verdict.violations],
+                )
                 outcome.violations.append(
                     Counterexample(
                         scenario=scenario,
@@ -385,11 +409,39 @@ def explore(
                 tag = record.tags[candidate_index]
                 if tag is not None:
                     slept.add(tag)
-        if on_progress is not None and outcome.runs % 100 == 0:
-            on_progress(outcome)
+        if outcome.runs % 100 == 0:
+            if on_progress is not None:
+                on_progress(outcome)
+            logger.debug(
+                "%r: %d runs (%d explored, %d pruned), stack depth %d",
+                scenario,
+                outcome.runs,
+                outcome.explored,
+                outcome.pruned_sleep + outcome.pruned_fingerprint,
+                len(stack),
+            )
     outcome.exhausted = (
         not stack and not budget_hit and outcome.truncated == 0
     )
+    if metrics is not None:
+        metrics.counter("explore_runs_total", scenario=scenario, outcome="explored").inc(
+            outcome.explored
+        )
+        metrics.counter(
+            "explore_runs_total", scenario=scenario, outcome="pruned_sleep"
+        ).inc(outcome.pruned_sleep)
+        metrics.counter(
+            "explore_runs_total", scenario=scenario, outcome="pruned_fingerprint"
+        ).inc(outcome.pruned_fingerprint)
+        metrics.counter(
+            "explore_violations_total", scenario=scenario
+        ).inc(len(outcome.violations))
+        elapsed = time.perf_counter() - started_at
+        if elapsed > 0:
+            metrics.gauge("explore_runs_per_second", scenario=scenario).set(
+                outcome.runs / elapsed
+            )
+    logger.info("%s", outcome.summary())
     return outcome
 
 

@@ -25,15 +25,19 @@ in-tree protocols keep plain data attributes.
 
 from __future__ import annotations
 
+import logging
 import random
 from collections import deque
 from typing import Any, Iterable
 
 from repro.memory.history import History
 from repro.memory.recorder import HistoryRecorder
+from repro.obs.profile import profiled
 from repro.sim.channel import ReliableFifoChannel
 from repro.sim.core import EventHandle, Simulator
 from repro.sim.network import Network
+
+logger = logging.getLogger(__name__)
 
 #: Attribute names never descended into: backbone references whose state
 #: is captured elsewhere (or not state at all).
@@ -107,6 +111,10 @@ def freeze(value: Any, _depth: int = 0) -> Any:
         return ("fn", getattr(value, "__qualname__", type(value).__name__))
     state = _object_state(value)
     if state is None:
+        logger.debug(
+            "opaque value of type %s in fingerprint (no __dict__/__slots__)",
+            type(value).__name__,
+        )
         return ("opaque", type(value).__name__)
     filtered = {
         key: item for key, item in state.items() if key not in _SKIP_KEYS
@@ -158,6 +166,7 @@ def _iter_is_processes(result) -> Iterable:
     return [seen[name] for name in sorted(seen)]
 
 
+@profiled("explore.state_fingerprint")
 def state_fingerprint(result) -> int:
     """Fingerprint the global state of a (possibly mid-run) scenario.
 

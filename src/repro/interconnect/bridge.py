@@ -146,6 +146,8 @@ def connect(
     faults: Optional[FaultPlan] = None,
     retry: Optional[RetryPolicy] = None,
     durability: Optional[str] = None,
+    tracer=None,
+    metrics=None,
 ) -> Bridge:
     """Interconnect two systems with the paper's IS-protocols.
 
@@ -178,12 +180,22 @@ def connect(
             write-ahead-logged propagation state (requires the resilient
             transport: a crashed process must be able to refuse frames
             and have the peer retransmit them).
+        tracer: optional :class:`repro.obs.tracer.Tracer` to install on
+            the shared simulator (merged with any instruments already
+            attached) — the whole run becomes traced, not just this link.
+        metrics: optional :class:`repro.obs.metrics.MetricsRegistry`,
+            installed the same way.
 
     Returns:
         The :class:`Bridge` handle, with link statistics.
     """
     if system_a.sim is not system_b.sim:
         raise ConfigurationError("both systems must share one simulator")
+    if tracer is not None or metrics is not None:
+        # Imported lazily: obs is optional at this layer.
+        from repro.obs.instruments import combine
+
+        system_a.sim.instruments = combine(tracer, metrics, system_a.sim.instruments)
     if system_a.recorder is not system_b.recorder:
         raise ConfigurationError(
             "both systems must share one history recorder so the global "
@@ -279,6 +291,17 @@ def connect(
         )
     isp_a.add_peer(isp_b.name, channel_ab)
     isp_b.add_peer(isp_a.name, channel_ba)
+    if sim.instruments is not None:
+        sim.trace(
+            "bridge.connect",
+            bridge_name,
+            a=isp_a.name,
+            b=isp_b.name,
+            transport=transport,
+            shared=shared,
+        )
+        if sim.metrics is not None:
+            sim.metrics.counter("bridges_total").inc()
     return Bridge(
         name=bridge_name,
         system_a=system_a,

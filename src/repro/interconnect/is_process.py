@@ -140,10 +140,25 @@ class ISProcess(SimProcess, UpcallHandler):
 
     def pre_update(self, var: str) -> None:
         """Task ``Pre_Propagate_out`` (Fig. 2): read the old value of *var*."""
+        if self.sim.instruments is not None:
+            self.trace(
+                "is.pre_update",
+                system=self.mcs.system_name,
+                var=var,
+                clock=getattr(self.mcs, "clock", None),
+            )
         self._synchronous_read(var)
 
     def post_update(self, var: str, value: Any) -> None:
         """Task ``Propagate_out`` (Fig. 1): read *var* and send the pair."""
+        if self.sim.instruments is not None:
+            self.trace(
+                "is.post_update",
+                system=self.mcs.system_name,
+                var=var,
+                value=value,
+                clock=getattr(self.mcs, "clock", None),
+            )
         if self.read_before_send:
             seen = self._synchronous_read(var)
             if seen != value:
@@ -189,6 +204,23 @@ class ISProcess(SimProcess, UpcallHandler):
 
     def _send_pair(self, link: _PeerLink, pair: PropagatedPair) -> None:
         link.pairs_sent += 1
+        instruments = self.sim.instruments
+        if instruments is not None:
+            link_label = f"{self.name}->{link.peer_name}"
+            if instruments.metrics is not None:
+                instruments.metrics.counter(
+                    "is_pairs_sent_total", link=link_label
+                ).inc()
+            if instruments.tracer is not None:
+                self.trace(
+                    "is.pair_send",
+                    system=self.mcs.system_name,
+                    link=link_label,
+                    seq=link.pairs_sent,
+                    var=pair.var,
+                    value=pair.value,
+                    clock=getattr(self.mcs, "clock", None),
+                )
         if not self.coalesce_queued or link.channel.is_up:
             self._flush_outbox(link)
             link.channel.send((self.name, pair))
@@ -232,6 +264,22 @@ class ISProcess(SimProcess, UpcallHandler):
         if link is None:
             raise ProtocolError(f"{self.name}: pair from unknown peer {from_peer!r}")
         link.pairs_received += 1
+        instruments = self.sim.instruments
+        if instruments is not None:
+            link_label = f"{from_peer}->{self.name}"
+            if instruments.metrics is not None:
+                instruments.metrics.counter(
+                    "is_pairs_received_total", link=link_label
+                ).inc()
+            if instruments.tracer is not None:
+                self.trace(
+                    "is.pair_recv",
+                    system=self.mcs.system_name,
+                    link=link_label,
+                    seq=link.pairs_received,
+                    var=pair.var,
+                    value=pair.value,
+                )
         if self.dedup_incoming:
             key = (pair.var, pair.value)
             if key in self._seen_pairs:
@@ -265,6 +313,21 @@ class ISProcess(SimProcess, UpcallHandler):
                 response_time=self.now,
                 is_interconnect=True,
             )
+            tracer = self.sim.tracer
+            if tracer is not None:
+                # The Propagate_in write as a complete span: issue->response
+                # of the causal re-injection into this system.
+                tracer.emit(
+                    issue_time,
+                    "is.propagate_in",
+                    self.name,
+                    system=self.mcs.system_name,
+                    phase="X",
+                    dur=self.now - issue_time,
+                    var=pair.var,
+                    value=pair.value,
+                    clock=getattr(self.mcs, "clock", None),
+                )
             self.pairs_applied_in += 1
             self._writing = False
             if self._write_queue:

@@ -142,21 +142,33 @@ class MCSProcess(SimProcess):
             # The attached IS-process is down. Apply the update and queue
             # the notification; recovery will propagate it late.
             apply()
-            if self.update_listener is not None:
-                self.update_listener(self, var, value)
+            self._replica_applied(var, value, own_write)
             self.missed_upcalls.append((var, value))
             return
         if handler is not None and not own_write:
             if handler.wants_pre_update:
                 handler.pre_update(var)
             apply()
-            if self.update_listener is not None:
-                self.update_listener(self, var, value)
+            self._replica_applied(var, value, own_write)
             handler.post_update(var, value)
         else:
             apply()
-            if self.update_listener is not None:
-                self.update_listener(self, var, value)
+            self._replica_applied(var, value, own_write)
+
+    def _replica_applied(self, var: str, value: Any, own_write: bool) -> None:
+        """Common post-apply bookkeeping: update listener + trace hook."""
+        if self.update_listener is not None:
+            self.update_listener(self, var, value)
+        if self.sim.instruments is not None:
+            self.sim.trace(
+                "replica.apply",
+                self.name,
+                system=self.system_name,
+                var=var,
+                value=value,
+                own_write=own_write,
+                clock=getattr(self, "clock", None),
+            )
 
     # -- subclass responsibilities ----------------------------------------
 
@@ -276,6 +288,30 @@ class AppProcess(SimProcess):
     def _record(self, kind: OpKind, var: str, value: Any, issue_time: float) -> None:
         self.ops_completed += 1
         self.response_times.append(self.now - issue_time)
+        instruments = self.sim.instruments
+        if instruments is not None:
+            if instruments.metrics is not None:
+                instruments.metrics.counter(
+                    "ops_completed_total",
+                    system=self.mcs.system_name,
+                    kind=kind.value,
+                ).inc()
+            if instruments.tracer is not None:
+                # Span from issue to response: the operation's latency as
+                # one Chrome "complete" bar on the issuing process's row.
+                instruments.tracer.emit(
+                    issue_time,
+                    "op",
+                    self.name,
+                    system=self.mcs.system_name,
+                    phase="X",
+                    dur=self.now - issue_time,
+                    clock=getattr(self.mcs, "clock", None),
+                    op=kind.value,
+                    var=var,
+                    value=value,
+                    interconnect=self.is_interconnect,
+                )
         self.recorder.record(
             kind=kind,
             proc=self.name,

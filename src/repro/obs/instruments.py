@@ -1,0 +1,75 @@
+"""The :class:`Instruments` bundle: one handle for a run's observability.
+
+Nearly every component in the stack holds a :class:`repro.sim.core.Simulator`
+reference, so instead of threading ``tracer=``/``metrics=`` through every
+constructor, a run attaches a single ``Instruments`` bundle to its
+simulator (``Simulator(instruments=...)`` or the ``tracer=``/``metrics=``
+keyword arguments on the high-level entry points
+:func:`repro.workloads.scenarios.build_interconnected`,
+:func:`repro.interconnect.bridge.connect`,
+:func:`repro.resilience.campaign.run_campaign`, and
+:func:`repro.explore.engine.run_with_trace`).
+
+Hook sites guard on ``sim.instruments is None`` (one attribute load and
+an identity test), which is the zero-overhead-when-disabled contract: an
+uninstrumented run executes no observability code beyond those guards,
+and an instrumented run records events/metrics without scheduling
+anything or consuming randomness — so enabling instrumentation cannot
+change a seeded run's history (pinned by
+``tests/integration/test_obs_overhead.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import Tracer
+
+
+class Instruments:
+    """A tracer and/or metrics registry travelling together.
+
+    Either half may be ``None``; :func:`combine` builds a bundle only
+    when at least one half is present, so callers can write
+    ``sim.instruments = combine(tracer, metrics)`` and keep the
+    ``None``-means-disabled fast path.
+    """
+
+    __slots__ = ("tracer", "metrics")
+
+    def __init__(
+        self,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.tracer = tracer
+        self.metrics = metrics
+
+    def __repr__(self) -> str:
+        parts = []
+        if self.tracer is not None:
+            parts.append(f"tracer={self.tracer.count} events")
+        if self.metrics is not None:
+            parts.append(f"metrics={len(self.metrics)} instruments")
+        return f"Instruments({', '.join(parts) or 'empty'})"
+
+
+def combine(
+    tracer: Optional[Tracer],
+    metrics: Optional[MetricsRegistry],
+    existing: Optional[Instruments] = None,
+) -> Optional[Instruments]:
+    """Merge new tracer/metrics with an existing bundle, if any.
+
+    Returns ``None`` when every input is ``None``, preserving the
+    disabled fast path. New halves win over *existing* ones.
+    """
+    tracer = tracer if tracer is not None else (existing.tracer if existing else None)
+    metrics = metrics if metrics is not None else (existing.metrics if existing else None)
+    if tracer is None and metrics is None:
+        return None
+    return Instruments(tracer, metrics)
+
+
+__all__ = ["Instruments", "combine"]

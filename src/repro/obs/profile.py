@@ -1,0 +1,114 @@
+"""Lightweight profiling hooks for hot paths.
+
+The checker (:func:`repro.checker.causal.check_causal`, the bitmask
+graph's transitive closure) and the explorer's state fingerprinting are
+the CPU sinks of this repo. ``@profiled("checker.check_causal")``
+wraps such a function so that, *when a registry is active*, each call
+records its wall-clock duration into a ``profile_seconds`` histogram and
+bumps ``profile_calls_total`` — and when no registry is active the
+wrapper is a single ``is None`` check.
+
+Wall-clock here is deliberate and safe: profiling data flows only *into*
+the metrics registry, never into the simulation or the tracer, so it
+cannot perturb a deterministic run (trace events remain sim-time-only).
+
+Activation is process-global rather than threaded through every call
+site, because the hot functions are pure helpers with no simulator
+handle. Use::
+
+    with profiling(registry):
+        explore(...)
+
+or ``set_registry(registry)`` for the lifetime of a CLI command.
+"""
+
+from __future__ import annotations
+
+import functools
+import time
+from contextlib import contextmanager
+from typing import Any, Callable, Iterator, Optional, TypeVar
+
+from repro.obs.metrics import MetricsRegistry
+
+F = TypeVar("F", bound=Callable[..., Any])
+
+#: Buckets tuned for per-call wall time in seconds (100 µs .. 30 s).
+PROFILE_BUCKETS = (
+    0.0001,
+    0.0005,
+    0.001,
+    0.005,
+    0.01,
+    0.05,
+    0.1,
+    0.5,
+    1.0,
+    5.0,
+    30.0,
+)
+
+_active: Optional[MetricsRegistry] = None
+
+
+def set_registry(registry: Optional[MetricsRegistry]) -> None:
+    """Install (or, with ``None``, remove) the process-global registry."""
+    global _active
+    _active = registry
+
+
+def get_registry() -> Optional[MetricsRegistry]:
+    return _active
+
+
+@contextmanager
+def profiling(registry: MetricsRegistry) -> Iterator[MetricsRegistry]:
+    """Activate *registry* for the duration of the block."""
+    previous = _active
+    set_registry(registry)
+    try:
+        yield registry
+    finally:
+        set_registry(previous)
+
+
+def profiled(site: str) -> Callable[[F], F]:
+    """Decorate a function to time its calls under the ``site`` label."""
+
+    def decorate(func: F) -> F:
+        @functools.wraps(func)
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
+            registry = _active
+            if registry is None:
+                return func(*args, **kwargs)
+            start = time.perf_counter()
+            try:
+                return func(*args, **kwargs)
+            finally:
+                elapsed = time.perf_counter() - start
+                registry.histogram(
+                    "profile_seconds", buckets=PROFILE_BUCKETS, site=site
+                ).observe(elapsed)
+                registry.counter("profile_calls_total", site=site).inc()
+
+        wrapper.__wrapped__ = func  # type: ignore[attr-defined]
+        return wrapper  # type: ignore[return-value]
+
+    return decorate
+
+
+def observe_size(site: str, value: float) -> None:
+    """Record a size observation (graph nodes, history length) if active."""
+    registry = _active
+    if registry is not None:
+        registry.histogram("profile_size", site=site).observe(value)
+
+
+__all__ = [
+    "PROFILE_BUCKETS",
+    "get_registry",
+    "observe_size",
+    "profiled",
+    "profiling",
+    "set_registry",
+]

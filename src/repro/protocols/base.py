@@ -54,7 +54,7 @@ class ProtocolSpec:
         segment: str = "default",
     ) -> MCSProcess:
         """Instantiate one MCS-process of this protocol."""
-        return self.factory(
+        mcs = self.factory(
             sim=sim,
             name=name,
             network=network,
@@ -63,6 +63,19 @@ class ProtocolSpec:
             segment=segment,
             **dict(self.options),
         )
+        if sim.instruments is not None:
+            if sim.metrics is not None:
+                sim.metrics.counter(
+                    "mcs_processes_built_total", protocol=self.name
+                ).inc()
+            sim.trace(
+                "mcs.built",
+                name,
+                system=system_name,
+                protocol=self.name,
+                segment=segment,
+            )
+        return mcs
 
     def with_options(self, **options: Any) -> "ProtocolSpec":
         """A copy of this spec with extra factory options merged in."""

@@ -211,6 +211,8 @@ def run_campaign(
     retry: Optional[RetryPolicy] = None,
     check_theorem1: bool = True,
     max_events: int = 4_000_000,
+    tracer=None,
+    metrics=None,
 ) -> CampaignResult:
     """Run one fault-injection campaign and machine-check the outcome.
 
@@ -231,6 +233,10 @@ def run_campaign(
     spec = spec or DEFAULT_SPEC
 
     sim = Simulator()
+    if tracer is not None or metrics is not None:
+        from repro.obs.instruments import combine
+
+        sim.instruments = combine(tracer, metrics, None)
     recorder = HistoryRecorder()
     values = ValueFactory()
     systems: list[DSMSystem] = []

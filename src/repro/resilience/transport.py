@@ -155,6 +155,17 @@ class LossyChannel(ReliableFifoChannel):
         self.stats.messages_sent += 1
         if self._on_send is not None:
             self._on_send(self, message)
+        ordinal = self.stats.messages_sent
+        instruments = self._sim.instruments
+        if instruments is not None:
+            if instruments.metrics is not None:
+                instruments.metrics.counter(
+                    "channel_messages_total", channel=self.name
+                ).inc()
+            if instruments.tracer is not None:
+                instruments.tracer.emit(
+                    now, "msg.send", self.name, channel=self.name, n=ordinal
+                )
         # One rng draw per knob per frame, always, so that toggling one
         # fault never perturbs the stream feeding the others.
         r_drop = self._rng.random()
@@ -163,6 +174,14 @@ class LossyChannel(ReliableFifoChannel):
         plan = self.faults
         if plan.partitioned_at(now) or r_drop < plan.drop_probability:
             self.frames_dropped += 1
+            if instruments is not None and instruments.tracer is not None:
+                instruments.tracer.emit(
+                    now, "msg.drop", self.name, channel=self.name, n=ordinal
+                )
+            if instruments is not None and instruments.metrics is not None:
+                instruments.metrics.counter(
+                    "channel_frames_dropped_total", channel=self.name
+                ).inc()
             return now
         start = self._availability.next_up(now)
         deliver_at = start + self._delay.sample(self._rng)
@@ -174,14 +193,16 @@ class LossyChannel(ReliableFifoChannel):
         else:
             deliver_at = max(deliver_at, self._last_delivery)
             self._last_delivery = deliver_at
-        self._schedule_delivery(deliver_at, message, now)
+        self._schedule_delivery(deliver_at, message, now, ordinal)
         if r_dup < plan.duplicate_probability:
             self.frames_duplicated += 1
             extra = self._delay.sample(self._rng) + 1e-9
-            self._schedule_delivery(deliver_at + extra, message, now)
+            self._schedule_delivery(deliver_at + extra, message, now, ordinal)
         return deliver_at
 
-    def _schedule_delivery(self, deliver_at: float, message: Any, send_time: float) -> None:
+    def _schedule_delivery(
+        self, deliver_at: float, message: Any, send_time: float, ordinal: int = 0
+    ) -> None:
         self._pending += 1
         self.stats.max_queue_length = max(self.stats.max_queue_length, self._pending)
 
@@ -189,6 +210,16 @@ class LossyChannel(ReliableFifoChannel):
             self._pending -= 1
             self.stats.messages_delivered += 1
             self.stats.total_delay += self._sim.now - send_time
+            tracer = self._sim.tracer
+            if tracer is not None:
+                tracer.emit(
+                    self._sim.now,
+                    "msg.recv",
+                    self.name,
+                    channel=self.name,
+                    n=ordinal,
+                    latency=self._sim.now - send_time,
+                )
             self._deliver(message)
 
         self._sim.schedule_at(deliver_at, fire)
@@ -377,10 +408,21 @@ class ResilientTransport:
             return
         if self._sender_up():
             for seq, message in self._unacked.items():
-                self.wire.retransmissions += 1
+                self._note_retransmit(seq)
                 self._transmit(seq, message)
         self._backoff_level += 1
         self._arm_timer()
+
+    def _note_retransmit(self, seq: int) -> None:
+        self.wire.retransmissions += 1
+        instruments = self._sim.instruments
+        if instruments is not None:
+            if instruments.metrics is not None:
+                instruments.metrics.counter("retransmits_total", link=self.name).inc()
+            if instruments.tracer is not None:
+                instruments.tracer.emit(
+                    self._sim.now, "retransmit", self.name, seq=seq
+                )
 
     def _on_ack_frame(self, frame: Any) -> None:
         _, cumulative = frame
@@ -413,7 +455,7 @@ class ResilientTransport:
         self._sent_at = {seq: self._sim.now for seq in self._unacked}
         self._backoff_level = 0
         for seq, message in self._unacked.items():
-            self.wire.retransmissions += 1
+            self._note_retransmit(seq)
             self._transmit(seq, message)
         self._arm_timer()
 

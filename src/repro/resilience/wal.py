@@ -43,7 +43,7 @@ from __future__ import annotations
 import copy
 import json
 from dataclasses import dataclass, field
-from typing import Any, Optional
+from typing import Any, Callable, Optional
 
 from repro.errors import ConfigurationError
 
@@ -125,6 +125,10 @@ class WriteAheadLog:
         self.appends = 0
         self.checkpoints_taken = 0
         self.recoveries_served = 0
+        #: Optional observer invoked after every append (the owning
+        #: process wires this to the metrics registry; the WAL itself
+        #: stays simulator-free).
+        self.on_append: Optional[Callable[[WalRecord], None]] = None
 
     # -- writing ------------------------------------------------------------
 
@@ -133,6 +137,8 @@ class WriteAheadLog:
         self._fold(record)
         self._tail.append(record)
         self.appends += 1
+        if self.on_append is not None:
+            self.on_append(record)
         if self.path is not None:
             self._write_line(record)
         if self.checkpoint_every and len(self._tail) >= self.checkpoint_every:

@@ -224,11 +224,32 @@ class ReliableFifoChannel:
         if self._on_send is not None:
             self._on_send(self, message)
         send_time = now
+        ordinal = self.stats.messages_sent
+        instruments = self._sim.instruments
+        if instruments is not None:
+            if instruments.metrics is not None:
+                instruments.metrics.counter(
+                    "channel_messages_total", channel=self.name
+                ).inc()
+            if instruments.tracer is not None:
+                instruments.tracer.emit(
+                    now, "msg.send", self.name, channel=self.name, n=ordinal
+                )
 
         def fire() -> None:
             self._pending -= 1
             self.stats.messages_delivered += 1
             self.stats.total_delay += self._sim.now - send_time
+            tracer = self._sim.tracer
+            if tracer is not None:
+                tracer.emit(
+                    self._sim.now,
+                    "msg.recv",
+                    self.name,
+                    channel=self.name,
+                    n=ordinal,
+                    latency=self._sim.now - send_time,
+                )
             self._deliver(message)
 
         # Tagged with the channel name: deliveries of one channel direction

@@ -22,10 +22,13 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import logging
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional, Sequence
 
 from repro.errors import SimulationError
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass(order=True)
@@ -126,18 +129,69 @@ class Simulator:
     the next event fires. Any callback may schedule further events.
     """
 
-    def __init__(self, policy: Optional[SchedulerPolicy] = None) -> None:
+    def __init__(
+        self,
+        policy: Optional[SchedulerPolicy] = None,
+        instruments: Optional[Any] = None,
+    ) -> None:
         self._queue: list[_ScheduledEvent] = []
         self._seq = itertools.count()
         self._now = 0.0
         self._running = False
         self._processed = 0
         self._policy = policy
+        self._instruments: Optional[Any] = None
+        self._event_counter: Optional[Any] = None
+        if instruments is not None:
+            self.instruments = instruments
 
     @property
     def now(self) -> float:
         """Current virtual time."""
         return self._now
+
+    @property
+    def instruments(self) -> Optional[Any]:
+        """The attached :class:`repro.obs.instruments.Instruments` bundle,
+        or None when the run is uninstrumented (the fast path: every hook
+        site guards on this being None).
+
+        Typed ``Any`` because the kernel deliberately does not import
+        :mod:`repro.obs` — observability is downstream of the simulator.
+        """
+        return self._instruments
+
+    @instruments.setter
+    def instruments(self, instruments: Optional[Any]) -> None:
+        if self._running:
+            raise SimulationError("cannot swap instruments mid-run")
+        self._instruments = instruments
+        metrics = getattr(instruments, "metrics", None)
+        self._event_counter = (
+            metrics.counter("sim_events_total") if metrics is not None else None
+        )
+
+    @property
+    def tracer(self) -> Optional[Any]:
+        """The attached tracer, or None."""
+        return self._instruments.tracer if self._instruments is not None else None
+
+    @property
+    def metrics(self) -> Optional[Any]:
+        """The attached metrics registry, or None."""
+        return self._instruments.metrics if self._instruments is not None else None
+
+    def trace(self, kind: str, component: str, **kwargs: Any) -> None:
+        """Emit a trace event at the current virtual time, if tracing.
+
+        A convenience over ``sim.tracer.emit(sim.now, ...)`` that no-ops
+        when no tracer is attached; hook sites across the stack call this
+        so the disabled cost stays one None check.
+        """
+        instruments = self._instruments
+        if instruments is None or instruments.tracer is None:
+            return
+        instruments.tracer.emit(self._now, kind, component, **kwargs)
 
     @property
     def events_processed(self) -> int:
@@ -216,6 +270,8 @@ class Simulator:
                     raise SimulationError("event queue went backwards in time")
                 self._now = event.time
                 self._processed += 1
+                if self._event_counter is not None:
+                    self._event_counter.inc()
                 event.callback()
                 return True
             return False
@@ -267,6 +323,8 @@ class Simulator:
             heapq.heappop(self._queue)
         self._now = chosen.time
         self._processed += 1
+        if self._event_counter is not None:
+            self._event_counter.inc()
         self._policy.executed(EnabledEvent(chosen.time, chosen.seq, chosen.tag))
         chosen.callback()
         return True
@@ -304,6 +362,12 @@ class Simulator:
                 self._now = until
         finally:
             self._running = False
+        logger.debug(
+            "run stopped at t=%.3f (%d events executed, %d pending)",
+            self._now,
+            executed,
+            self.pending,
+        )
         return self._now
 
     def _peek(self) -> Optional[_ScheduledEvent]:

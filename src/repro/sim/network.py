@@ -122,6 +122,11 @@ class Network:
             dst_segment=self._nodes[dst].segment,
             payload=payload,
         )
+        metrics = self._sim.metrics
+        if metrics is not None:
+            metrics.counter("net_messages_total", network=self.name).inc()
+            if record.crosses_segments:
+                metrics.counter("bottleneck_crossings_total", network=self.name).inc()
         for listener in self._listeners:
             listener(record)
         channel.send(payload)

@@ -17,7 +17,7 @@ its tag at that component instead (see :class:`repro.memory.interface.AppProcess
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import Any, Callable
 
 from repro.sim.core import EventHandle, Simulator
 
@@ -43,6 +43,11 @@ class SimProcess:
     @property
     def now(self) -> float:
         return self.sim.now
+
+    def trace(self, kind: str, **kwargs: Any) -> None:
+        """Emit a trace event attributed to this process (no-op unless a
+        tracer is attached to the simulator)."""
+        self.sim.trace(kind, self.name, **kwargs)
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}({self.name!r})"

@@ -14,8 +14,10 @@ anything else is stringified (and flagged, so loading is loss-aware).
 from __future__ import annotations
 
 import json
+import warnings
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Union
+from typing import Any, Optional, Union
 
 from repro.errors import CheckerError
 from repro.memory.history import History
@@ -26,14 +28,33 @@ SCHEMA_VERSION = 1
 _JSON_NATIVE = (str, int, float, bool, type(None))
 
 
+@dataclass
+class LoadReport:
+    """What a trace load had to do to reconstruct the history.
+
+    The encoder stringifies non-JSON-native values (and flags them);
+    on load those operations carry the *string* form, not the original
+    object, so equality against a live history can fail. The report
+    surfaces exactly which operations were affected.
+    """
+
+    operations: int = 0
+    #: op_ids whose value came back as a stringified stand-in.
+    stringified_op_ids: list[str] = field(default_factory=list)
+
+    @property
+    def lossless(self) -> bool:
+        return not self.stringified_op_ids
+
+
 def _encode_value(value: Any) -> dict[str, Any]:
     if isinstance(value, _JSON_NATIVE):
         return {"v": value}
     return {"v": str(value), "stringified": True}
 
 
-def _decode_value(blob: dict[str, Any]) -> Any:
-    return blob["v"]
+def _decode_value(blob: dict[str, Any]) -> tuple[Any, bool]:
+    return blob["v"], bool(blob.get("stringified"))
 
 
 def history_to_dict(history: History) -> dict[str, Any]:
@@ -59,8 +80,17 @@ def history_to_dict(history: History) -> dict[str, Any]:
     }
 
 
-def history_from_dict(blob: dict[str, Any]) -> History:
-    """Rebuild a history from :func:`history_to_dict` output."""
+def history_from_dict(
+    blob: dict[str, Any], report: Optional[LoadReport] = None
+) -> History:
+    """Rebuild a history from :func:`history_to_dict` output.
+
+    Loading is loss-aware: values the encoder had to stringify come
+    back as strings, not the original objects. Pass a
+    :class:`LoadReport` to find out which operations were affected;
+    without one, a single :class:`UserWarning` is issued per load when
+    any stringified values are present.
+    """
     if blob.get("kind") != "repro-trace":
         raise CheckerError("not a repro trace (missing kind marker)")
     if blob.get("schema") != SCHEMA_VERSION:
@@ -68,20 +98,36 @@ def history_from_dict(blob: dict[str, Any]) -> History:
             f"unsupported trace schema {blob.get('schema')!r} (expected {SCHEMA_VERSION})"
         )
     operations = []
+    stringified: list[str] = []
     for entry in blob["operations"]:
+        value, was_stringified = _decode_value(entry["value"])
+        if was_stringified:
+            stringified.append(entry["op_id"])
         operations.append(
             Operation(
                 op_id=entry["op_id"],
                 kind=OpKind(entry["kind"]),
                 proc=entry["proc"],
                 var=entry["var"],
-                value=_decode_value(entry["value"]),
+                value=value,
                 seq=entry["seq"],
                 system=entry["system"],
                 issue_time=entry["issue_time"],
                 response_time=entry["response_time"],
                 is_interconnect=entry["is_interconnect"],
             )
+        )
+    if report is not None:
+        report.operations = len(operations)
+        report.stringified_op_ids = stringified
+    elif stringified:
+        warnings.warn(
+            f"trace contains {len(stringified)} operation(s) whose values were "
+            "stringified at dump time (first: "
+            f"{stringified[0]!r}); loaded values are string stand-ins, not the "
+            "originals. Pass a LoadReport to inspect them.",
+            UserWarning,
+            stacklevel=2,
         )
     return History(operations)
 
@@ -91,13 +137,13 @@ def dumps_history(history: History, indent: int | None = None) -> str:
     return json.dumps(history_to_dict(history), indent=indent)
 
 
-def loads_history(text: str) -> History:
-    """Parse a history from a JSON string."""
+def loads_history(text: str, report: Optional[LoadReport] = None) -> History:
+    """Parse a history from a JSON string (see :func:`history_from_dict`)."""
     try:
         blob = json.loads(text)
     except json.JSONDecodeError as exc:
         raise CheckerError(f"malformed trace JSON: {exc}") from exc
-    return history_from_dict(blob)
+    return history_from_dict(blob, report=report)
 
 
 def dump_history(history: History, path: Union[str, Path], indent: int = 2) -> None:
@@ -105,13 +151,14 @@ def dump_history(history: History, path: Union[str, Path], indent: int = 2) -> N
     Path(path).write_text(dumps_history(history, indent=indent), encoding="utf-8")
 
 
-def load_history(path: Union[str, Path]) -> History:
+def load_history(path: Union[str, Path], report: Optional[LoadReport] = None) -> History:
     """Read a history previously written by :func:`dump_history`."""
-    return loads_history(Path(path).read_text(encoding="utf-8"))
+    return loads_history(Path(path).read_text(encoding="utf-8"), report=report)
 
 
 __all__ = [
     "SCHEMA_VERSION",
+    "LoadReport",
     "history_to_dict",
     "history_from_dict",
     "dumps_history",

@@ -95,10 +95,20 @@ def build_interconnected(
     shared: bool = True,
     read_before_send: bool = True,
     use_pre_update: Optional[bool] = None,
+    tracer=None,
+    metrics=None,
 ) -> ScenarioResult:
     """Build m systems (one protocol name each), populate random workloads,
-    and interconnect them as a tree. Does not run the simulation."""
+    and interconnect them as a tree. Does not run the simulation.
+
+    *tracer*/*metrics* attach observability to the run (see
+    :mod:`repro.obs`); instrumentation records events but never perturbs
+    the simulation, so seeded runs stay identical with or without it."""
     sim = Simulator()
+    if tracer is not None or metrics is not None:
+        from repro.obs.instruments import combine
+
+        sim.instruments = combine(tracer, metrics, None)
     recorder = HistoryRecorder()
     values = ValueFactory()
     systems = []

@@ -1,0 +1,79 @@
+"""Zero-overhead guard: instrumentation must never perturb a run.
+
+Two pins:
+
+* an instrumented-on seeded run produces a byte-identical serialised
+  history to the same run with instrumentation off, and
+* the instrumentation-off history matches a golden digest recorded from
+  the pre-instrumentation tree (commit c659db9), so the hooks cannot
+  have changed uninstrumented behaviour either.
+"""
+
+import hashlib
+
+from repro.obs import ListSink, MetricsRegistry, Tracer
+from repro.trace import dumps_history
+from repro.workloads import WorkloadSpec, build_interconnected
+from repro.workloads.scenarios import run_until_quiescent
+
+#: sha256 of ``dumps_history`` for the scenario below, computed on the
+#: tree *before* the instrumentation layer existed. If this changes, a
+#: hook has altered simulation behaviour — that is a bug, not a test to
+#: update casually.
+GOLDEN_SHA256 = "3f719dc02b2db54240f0ef4084cbaec22fe5a937d254c694fc9d86132562d265"
+
+
+def run_scenario(tracer=None, metrics=None):
+    spec = WorkloadSpec(processes=3, ops_per_process=5, write_ratio=0.6)
+    result = build_interconnected(
+        ["vector-causal", "parametrized-causal", "lamport-sequential"],
+        spec,
+        topology="star",
+        seed=42,
+        tracer=tracer,
+        metrics=metrics,
+    )
+    run_until_quiescent(result.sim, result.systems)
+    return result
+
+
+def history_bytes(result) -> bytes:
+    return dumps_history(result.recorder.history()).encode("utf-8")
+
+
+class TestZeroOverhead:
+    def test_uninstrumented_run_matches_golden_digest(self):
+        digest = hashlib.sha256(history_bytes(run_scenario())).hexdigest()
+        assert digest == GOLDEN_SHA256
+
+    def test_instrumented_run_is_byte_identical(self):
+        plain = history_bytes(run_scenario())
+        traced = history_bytes(
+            run_scenario(tracer=Tracer(ListSink()), metrics=MetricsRegistry())
+        )
+        assert traced == plain
+        assert hashlib.sha256(traced).hexdigest() == GOLDEN_SHA256
+
+    def test_tracer_only_and_metrics_only(self):
+        assert (
+            hashlib.sha256(
+                history_bytes(run_scenario(tracer=Tracer(ListSink())))
+            ).hexdigest()
+            == GOLDEN_SHA256
+        )
+        assert (
+            hashlib.sha256(
+                history_bytes(run_scenario(metrics=MetricsRegistry()))
+            ).hexdigest()
+            == GOLDEN_SHA256
+        )
+
+    def test_instrumentation_observed_the_run(self):
+        # The identical-history guarantee would be vacuous if the hooks
+        # never fired; make sure they did.
+        tracer = Tracer(ListSink())
+        registry = MetricsRegistry()
+        run_scenario(tracer=tracer, metrics=registry)
+        assert tracer.count > 0
+        assert registry.total("net_messages_total") > 0
+        assert registry.total("ops_completed_total") == 3 * 5 * 3

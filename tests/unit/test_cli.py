@@ -142,3 +142,91 @@ class TestDemo:
         out = capsys.readouterr().out
         assert "Theorem 1" in out
         assert "Lemma 1" in out
+
+
+class TestTraceCommand:
+    def test_record_and_summarize(self, tmp_path, capsys):
+        out = tmp_path / "run.jsonl"
+        code = main(
+            ["trace", "--out", str(out), "--summarize", "--processes", "2", "--ops", "3"]
+        )
+        printed = capsys.readouterr().out
+        assert code == 0
+        assert out.exists()
+        assert "recorded" in printed
+        assert "by kind" in printed
+        assert "msg.send" in printed
+
+    def test_convert_to_chrome(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "run.jsonl"
+        chrome = tmp_path / "run.chrome.json"
+        assert main(["trace", "--out", str(out), "--to-chrome", str(chrome)]) == 0
+        blob = json.loads(chrome.read_text(encoding="utf-8"))
+        assert blob["traceEvents"]
+
+    def test_load_existing_events(self, tmp_path, capsys):
+        out = tmp_path / "run.jsonl"
+        main(["trace", "--out", str(out)])
+        capsys.readouterr()
+        assert main(["trace", str(out), "--summarize"]) == 0
+        printed = capsys.readouterr().out
+        assert "loaded" in printed and "events over virtual time" in printed
+
+    def test_nothing_to_do_is_an_error(self, capsys):
+        assert main(["trace"]) == 2
+
+
+class TestStatsCommand:
+    def test_counts_match_model(self, capsys):
+        assert main(["stats", "--processes", "2", "--ops", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "metrics registry" in out
+        assert "MISMATCH" not in out
+        assert "messages per write" in out
+
+    def test_all_write_workload(self, capsys):
+        assert main(["stats", "--write-ratio", "1.0", "--ops", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "MISMATCH" not in out
+
+    def test_three_system_chain(self, capsys):
+        code = main(
+            [
+                "stats",
+                "--protocols",
+                "vector-causal,vector-causal,vector-causal",
+                "--topology",
+                "chain",
+                "--ops",
+                "3",
+            ]
+        )
+        assert code == 0
+        assert "MISMATCH" not in capsys.readouterr().out
+
+
+class TestBenchCommand:
+    def test_fake_suite(self, tmp_path, capsys):
+        bench_dir = tmp_path / "benchmarks"
+        bench_dir.mkdir()
+        (bench_dir / "bench_ok.py").write_text(
+            "def test_ok():\n    assert True\n", encoding="utf-8"
+        )
+        report = tmp_path / "report.json"
+        code = main(
+            ["bench", "--quick", "--dir", str(bench_dir), "--output", str(report)]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert report.exists()
+        assert "bench_ok" in out
+
+
+class TestVerbosityFlags:
+    def test_verbose_flag_accepted(self, capsys):
+        assert main(["-v", "protocols"]) == 0
+
+    def test_quiet_flag_accepted(self, capsys):
+        assert main(["-q", "protocols"]) == 0

@@ -5,6 +5,7 @@ import pytest
 from repro.errors import CheckerError
 from repro.trace import (
     SCHEMA_VERSION,
+    LoadReport,
     dump_history,
     dumps_history,
     history_from_dict,
@@ -58,8 +59,54 @@ class TestRoundTrip:
         blob = history_to_dict(history)
         encoded = blob["operations"][0]["value"]
         assert encoded["stringified"]
-        restored = history_from_dict(blob)
+        with pytest.warns(UserWarning, match="stringified"):
+            restored = history_from_dict(blob)
         assert restored.operations[0].value == "(1, 2)"
+
+
+class TestLossAwareness:
+    """Loading must surface which values were stringified at dump time."""
+
+    def lossy_history(self):
+        return ops(
+            ("A", "w", "x", (1, 2)),
+            ("B", "r", "x", (1, 2)),
+            ("A", "w", "y", 3),
+        )
+
+    def test_load_report_collects_stringified_ops(self):
+        report = LoadReport()
+        restored = loads_history(dumps_history(self.lossy_history()), report=report)
+        assert report.operations == 3
+        assert len(report.stringified_op_ids) == 2
+        assert not report.lossless
+        assert {op.op_id for op in restored if isinstance(op.value, str)} == set(
+            report.stringified_op_ids
+        )
+
+    def test_lossless_load_report(self):
+        report = LoadReport()
+        loads_history(dumps_history(sample_history()), report=report)
+        assert report.lossless
+        assert report.operations == 4
+        assert report.stringified_op_ids == []
+
+    def test_warns_once_per_load_without_report(self):
+        text = dumps_history(self.lossy_history())
+        with pytest.warns(UserWarning) as caught:
+            loads_history(text)
+        assert len(caught) == 1
+        assert "2 operation(s)" in str(caught[0].message)
+
+    def test_no_warning_when_lossless(self, recwarn):
+        loads_history(dumps_history(sample_history()))
+        assert not [w for w in recwarn if issubclass(w.category, UserWarning)]
+
+    def test_no_warning_when_report_requested(self, tmp_path, recwarn):
+        path = tmp_path / "trace.json"
+        dump_history(self.lossy_history(), path)
+        load_history(path, report=LoadReport())
+        assert not [w for w in recwarn if issubclass(w.category, UserWarning)]
 
 
 class TestSchema:
