@@ -11,10 +11,14 @@ from repro.workloads.scenarios import run_until_quiescent
 
 SPEC = WorkloadSpec(processes=3, ops_per_process=6, write_ratio=0.5)
 
+#: The checker-bound configuration: ~720 global ops across 5 systems,
+#: where causality checking (not simulation) dominates the pipeline.
+LARGE_SPEC = WorkloadSpec(processes=6, ops_per_process=24, write_ratio=0.5)
 
-def run_and_check(protocols, topology="star", shared=True, seed=0):
+
+def run_and_check(protocols, topology="star", shared=True, seed=0, spec=SPEC):
     result = build_interconnected(
-        protocols, SPEC, topology=topology, shared=shared, seed=seed
+        protocols, spec, topology=topology, shared=shared, seed=seed
     )
     run_until_quiescent(result.sim, result.systems)
     verdict = check_causal(result.global_history)
@@ -44,6 +48,18 @@ def test_e7_chain_of_five(benchmark):
         run_and_check, ["vector-causal"] * 5, topology="chain", shared=False
     )
     print(f"\nE7: chain of 5 systems (per-edge IS), {size} ops -> {verdict.summary()}")
+    assert verdict.ok
+
+
+def test_e7_chain_of_five_large(benchmark):
+    verdict, size = benchmark(
+        run_and_check,
+        ["vector-causal"] * 5,
+        topology="chain",
+        shared=False,
+        spec=LARGE_SPEC,
+    )
+    print(f"\nE7: chain of 5, large workload, {size} ops -> {verdict.summary()}")
     assert verdict.ok
 
 

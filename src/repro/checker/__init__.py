@@ -1,6 +1,6 @@
 """Consistency checkers: causal (fast + certificate), sequential, PRAM, cache."""
 
-from repro.checker.cache import check_cache
+from repro.checker.cache import Derivations, check_cache, derive, invalidate
 from repro.checker.causal import causal_order, check_causal
 from repro.checker.convergence import check_causal_convergence
 from repro.checker.pram import check_pram
@@ -33,6 +33,9 @@ __all__ = [
     "check_writes_follow_reads",
     "check_all_session_guarantees",
     "causal_order",
+    "Derivations",
+    "derive",
+    "invalidate",
     "construct_global_view",
     "original_write",
     "verify_theorem1_construction",

@@ -16,9 +16,22 @@ and Hamza, "On verifying causal consistency" (POPL 2017):
 3. alpha_i has a causal view iff the saturated relation is acyclic and no
    read of the initial value of ``x`` is preceded by a write on ``x``.
 
-Soundness and completeness of this characterisation are cross-validated
-in the test suite against the certificate-producing explicit view search
-(:mod:`repro.checker.views`) on thousands of random histories.
+The implementation keeps the full-size CO closure and maintains it
+*incrementally*: saturation edges are folded in with
+:meth:`~repro.checker.graph.Relation.add_closed` (O(n) bitmask unions per
+edge) instead of re-running the global closure fixpoint on every pass.
+Restricting to alpha_i never materialises a subrelation either — added
+edges connect writes (which belong to every alpha_i), so reachability
+between alpha_i's members in the full closure coincides with the
+restricted closure, and only alpha_i's nodes are consulted for cycles.
+The checks are performed against a per-pass snapshot, which keeps the
+pass-by-pass behaviour (and thus the reported violation) identical to
+the naive recompute-per-pass formulation; the equivalence is pinned by
+property tests against the naive version and the certificate-producing
+view search (:mod:`repro.checker.views`).
+
+Derived structures (CO closure, reads-from, op index) are shared with
+the other checkers through :mod:`repro.checker.cache`.
 """
 
 from __future__ import annotations
@@ -26,6 +39,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.errors import CheckerError
+from repro.checker.cache import derive
 from repro.checker.graph import Relation
 from repro.checker.report import CheckResult, Violation
 from repro.memory.history import History
@@ -38,45 +52,51 @@ def causal_order(history: History) -> tuple[list[Operation], Relation]:
     """The operations of *history* and their causal order (Definition 2).
 
     Returns (ops, CO) where CO is the transitive closure of program order
-    union reads-from, as a :class:`Relation` over indices into ops.
+    union reads-from, as a :class:`Relation` over indices into ops. The
+    relation comes from the per-history derivation cache and is shared:
+    treat it as read-only (``copy()`` before extending).
     """
-    ops = list(history.operations)
-    index = {op.op_id: position for position, op in enumerate(ops)}
-    relation = Relation(len(ops))
-    for proc in history.processes():
-        sequence = history.of_process(proc)
-        for earlier, later in zip(sequence, sequence[1:]):
-            relation.add(index[earlier.op_id], index[later.op_id])
-    for read, write in history.reads_from().items():
-        if write is not None:
-            relation.add(index[write.op_id], index[read.op_id])
-    return ops, relation.transitive_closure()
+    derivations = derive(history)
+    return list(derivations.operations), derivations.order
 
 
 def _saturate(
     ops: list[Operation],
-    relation: Relation,
+    closed: Relation,
     proc: str,
+    members: Optional[list[int]] = None,
 ) -> tuple[Relation, Optional[Violation]]:
-    """Saturate the per-process relation; returns (closure, violation)."""
+    """Saturate *closed* (a transitively closed relation, mutated in
+    place) for process *proc*; returns (closure, violation).
+
+    *ops* may be the full operation list: only writes and *proc*'s reads
+    participate. *members* (computed if omitted) lists their positions —
+    the alpha_i carrier whose nodes are checked for cycles.
+    """
     reads_from: dict[int, Optional[int]] = {}
     writes_by_key = {
         (op.var, op.value): position for position, op in enumerate(ops) if op.is_write
     }
     writes_on: dict[str, list[int]] = {}
+    carrier = [] if members is None else members
     for position, op in enumerate(ops):
         if op.is_write:
             writes_on.setdefault(op.var, []).append(position)
+            if members is None:
+                carrier.append(position)
         elif op.proc == proc:
+            if members is None:
+                carrier.append(position)
             if op.reads_initial:
                 reads_from[position] = None
             else:
                 reads_from[position] = writes_by_key[(op.var, op.value)]
 
-    current = relation.copy()
     while True:
-        closed = current.transitive_closure()
-        cyclic = closed.cycle_node()
+        cyclic = next(
+            (position for position in carrier if closed.has(position, position)),
+            None,
+        )
         if cyclic is not None:
             return closed, Violation(
                 pattern="CyclicHB",
@@ -85,24 +105,29 @@ def _saturate(
                 detail="the saturated happened-before relation is cyclic; "
                 "no permutation can preserve the causal order",
             )
+        # Checks run against the pass-start snapshot so that a pass sees
+        # exactly the closure its predecessor produced (matching the
+        # naive recompute-per-pass semantics edge for edge), while new
+        # edges fold into the live closure incrementally.
+        snapshot = closed.copy()
         changed = False
         for read_pos, write_pos in reads_from.items():
             read = ops[read_pos]
             for other_pos in writes_on.get(read.var, ()):
                 if other_pos == write_pos:
                     continue
-                if not closed.has(other_pos, read_pos):
+                if not snapshot.has(other_pos, read_pos):
                     continue
                 if write_pos is None:
-                    return closed, Violation(
+                    return snapshot, Violation(
                         pattern="WriteHBInitRead",
                         process=proc,
                         operations=(ops[other_pos], read),
                         detail=f"{read} returns the initial value although "
                         f"{ops[other_pos]} precedes it in causal order",
                     )
-                if not closed.has(other_pos, write_pos):
-                    current.add(other_pos, write_pos)
+                if not snapshot.has(other_pos, write_pos):
+                    closed.add_closed(other_pos, write_pos)
                     changed = True
         if not changed:
             return closed, None
@@ -117,7 +142,7 @@ def check_causal(history: History) -> CheckResult:
     observe_size("checker.history_ops", len(history))
     history.validate()
     try:
-        history.reads_from()
+        derivations = derive(history)
     except CheckerError as exc:
         result.ok = False
         result.violations.append(
@@ -125,7 +150,7 @@ def check_causal(history: History) -> CheckResult:
         )
         return result
 
-    ops, order = causal_order(history)
+    ops, order = derivations.operations, derivations.order
     cyclic = order.cycle_node()
     if cyclic is not None:
         result.ok = False
@@ -139,17 +164,18 @@ def check_causal(history: History) -> CheckResult:
         )
         return result
 
+    # Build the predecessor transpose once on the shared closure: each
+    # per-process copy inherits it, so saturation never re-transposes.
+    order._ensure_pred()
     for proc in history.processes():
-        keep = [
+        members = [
             position
             for position, op in enumerate(ops)
             if op.is_write or op.proc == proc
         ]
-        sub_ops = [ops[position] for position in keep]
-        if not any(op.is_read for op in sub_ops):
+        if not any(ops[position].is_read for position in members):
             continue
-        restricted = order.restrict(keep)
-        _, violation = _saturate(sub_ops, restricted, proc)
+        _, violation = _saturate(ops, order.copy(), proc, members)
         if violation is not None:
             result.ok = False
             result.violations.append(violation)

@@ -27,7 +27,7 @@ CCv-accepted histories happen to be CM-accepted too.
 from __future__ import annotations
 
 from repro.errors import CheckerError
-from repro.checker.causal import causal_order
+from repro.checker.cache import derive
 from repro.checker.report import CheckResult, Violation
 from repro.memory.history import History
 
@@ -39,7 +39,7 @@ def check_causal_convergence(history: History) -> CheckResult:
         return result
     history.validate()
     try:
-        reads_from = history.reads_from()
+        derivations = derive(history)
     except CheckerError as exc:
         result.ok = False
         result.violations.append(
@@ -47,8 +47,9 @@ def check_causal_convergence(history: History) -> CheckResult:
         )
         return result
 
-    operations, order = causal_order(history)
-    index = {op.op_id: position for position, op in enumerate(operations)}
+    reads_from = derivations.reads_from
+    operations, order = derivations.operations, derivations.order
+    index = derivations.index
     cyclic = order.cycle_node()
     if cyclic is not None:
         result.ok = False

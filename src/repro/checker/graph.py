@@ -2,7 +2,13 @@
 
 Relations are kept as per-node successor bitmasks (Python ints), which
 makes transitive closure and reachability cheap for the history sizes the
-checkers handle (hundreds to a few thousand operations).
+checkers handle (hundreds to a few thousand operations). Predecessor
+masks are maintained lazily (built by one transpose pass on first use)
+so that :meth:`Relation.add_closed` can restore transitive closure
+incrementally after an edge insertion instead of re-running the global
+fixpoint — the saturation loop of :mod:`repro.checker.causal` adds a
+handful of edges per pass, and re-closing from scratch each time was the
+checker's dominant cost.
 """
 
 from __future__ import annotations
@@ -15,11 +21,14 @@ from repro.obs.profile import observe_size, profiled
 class Relation:
     """A binary relation over ``range(size)`` with bitmask adjacency."""
 
-    __slots__ = ("size", "_succ")
+    __slots__ = ("size", "_succ", "_pred")
 
     def __init__(self, size: int) -> None:
         self.size = size
         self._succ: list[int] = [0] * size
+        #: Lazily-built transpose (per-node predecessor masks). ``None``
+        #: until first needed; kept in sync by add/add_closed once built.
+        self._pred: Optional[list[int]] = None
 
     def add(self, a: int, b: int) -> bool:
         """Add the pair (a, b); returns True if it was new."""
@@ -27,6 +36,8 @@ class Relation:
         if self._succ[a] & bit:
             return False
         self._succ[a] |= bit
+        if self._pred is not None:
+            self._pred[b] |= 1 << a
         return True
 
     def has(self, a: int, b: int) -> bool:
@@ -42,16 +53,93 @@ class Relation:
             yield low.bit_length() - 1
             mask ^= low
 
+    def _ensure_pred(self) -> list[int]:
+        """Build (or return) the predecessor masks."""
+        if self._pred is None:
+            pred = [0] * self.size
+            for node, mask in enumerate(self._succ):
+                bit = 1 << node
+                while mask:
+                    low = mask & -mask
+                    pred[low.bit_length() - 1] |= bit
+                    mask ^= low
+            self._pred = pred
+        return self._pred
+
+    def predecessors_mask(self, a: int) -> int:
+        return self._ensure_pred()[a]
+
+    def predecessors(self, a: int) -> Iterator[int]:
+        mask = self.predecessors_mask(a)
+        while mask:
+            low = mask & -mask
+            yield low.bit_length() - 1
+            mask ^= low
+
     def copy(self) -> "Relation":
         dup = Relation(self.size)
         dup._succ = list(self._succ)
+        if self._pred is not None:
+            dup._pred = list(self._pred)
         return dup
 
     @profiled("checker.transitive_closure")
     def transitive_closure(self) -> "Relation":
-        """The transitive closure (fixpoint of mask propagation)."""
+        """The transitive closure.
+
+        Acyclic relations (the overwhelmingly common case: program order
+        plus reads-from of a well-formed history) are closed in a single
+        reverse-topological pass; a cycle falls back to the mask-
+        propagation fixpoint, whose result is identical (the closure is
+        unique) and which still terminates on cyclic input.
+        """
         observe_size("checker.graph_nodes", self.size)
+        order = self._topological_order()
+        if order is not None:
+            closure = Relation(self.size)
+            closed = closure._succ
+            succ = self._succ
+            for node in reversed(order):
+                mask = succ[node]
+                acc = mask
+                while mask:
+                    low = mask & -mask
+                    acc |= closed[low.bit_length() - 1]
+                    mask ^= low
+                closed[node] = acc
+            return closure
+        return self._closure_fixpoint()
+
+    def _topological_order(self) -> Optional[list[int]]:
+        """A topological order of the nodes, or None if cyclic."""
+        succ = self._succ
+        indegree = [0] * self.size
+        for mask in succ:
+            while mask:
+                low = mask & -mask
+                indegree[low.bit_length() - 1] += 1
+                mask ^= low
+        stack = [node for node in range(self.size) if not indegree[node]]
+        order: list[int] = []
+        while stack:
+            node = stack.pop()
+            order.append(node)
+            mask = succ[node]
+            while mask:
+                low = mask & -mask
+                child = low.bit_length() - 1
+                indegree[child] -= 1
+                if not indegree[child]:
+                    stack.append(child)
+                mask ^= low
+        if len(order) != self.size:
+            return None
+        return order
+
+    def _closure_fixpoint(self) -> "Relation":
+        """The original mask-propagation fixpoint (handles cycles)."""
         closure = self.copy()
+        closure._pred = None
         succ = closure._succ
         changed = True
         while changed:
@@ -69,6 +157,36 @@ class Relation:
                     changed = True
         return closure
 
+    def add_closed(self, a: int, b: int) -> bool:
+        """Add (a, b) to an already transitively *closed* relation and
+        restore closure incrementally; returns True if the edge was new.
+
+        Every node that reaches ``a`` (plus ``a`` itself) gains every
+        node reachable from ``b`` (plus ``b`` itself) — O(n) bitmask
+        unions per insertion instead of a global re-closure. Only
+        meaningful when ``self`` is transitively closed.
+        """
+        bit_b = 1 << b
+        if self._succ[a] & bit_b:
+            return False
+        pred = self._ensure_pred()
+        succ = self._succ
+        targets = succ[b] | bit_b
+        sources = pred[a] | (1 << a)
+        mask = sources
+        while mask:
+            low = mask & -mask
+            source = low.bit_length() - 1
+            if succ[source] | targets != succ[source]:
+                succ[source] |= targets
+            mask ^= low
+        mask = targets
+        while mask:
+            low = mask & -mask
+            pred[low.bit_length() - 1] |= sources
+            mask ^= low
+        return True
+
     def cycle_node(self) -> Optional[int]:
         """A node on a cycle of the *closed* relation, or None.
 
@@ -80,17 +198,48 @@ class Relation:
         return None
 
     def restrict(self, keep: Sequence[int]) -> "Relation":
-        """The induced subrelation, reindexed to ``range(len(keep))``."""
+        """The induced subrelation, reindexed to ``range(len(keep))``.
+
+        Masks are translated by run: maximal stretches of consecutive
+        old indices move as one shift-and-mask chunk, so the cost is
+        O(len(keep) × runs) word operations rather than the O(n²)
+        per-bit probing of the naive version.
+        """
         sub = Relation(len(keep))
+        if not keep:
+            return sub
+        runs: list[tuple[int, int, int]] = []  # (old_start, new_start, chunk_mask)
+        start = previous = keep[0]
+        new_start = 0
+        for new_index in range(1, len(keep)):
+            old = keep[new_index]
+            if old == previous + 1:
+                previous = old
+                continue
+            runs.append((start, new_start, (1 << (previous - start + 1)) - 1))
+            start = previous = old
+            new_start = new_index
+        runs.append((start, new_start, (1 << (previous - start + 1)) - 1))
+        succ = self._succ
+        sub_succ = sub._succ
         for new_a, old_a in enumerate(keep):
-            mask = self._succ[old_a]
-            for new_b, old_b in enumerate(keep):
-                if mask & (1 << old_b):
-                    sub.add(new_a, new_b)
+            mask = succ[old_a]
+            if not mask:
+                continue
+            acc = 0
+            for old_start, run_new_start, chunk_mask in runs:
+                chunk = (mask >> old_start) & chunk_mask
+                if chunk:
+                    acc |= chunk << run_new_start
+            sub_succ[new_a] = acc
         return sub
 
     def edge_count(self) -> int:
         return sum(mask.bit_count() for mask in self._succ)
+
+    def equal_edges(self, other: "Relation") -> bool:
+        """True if both relations have exactly the same pairs."""
+        return self.size == other.size and self._succ == other._succ
 
 
 __all__ = ["Relation"]

@@ -31,19 +31,28 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.errors import CheckerError
-from repro.checker.causal import causal_order
+from repro.checker.cache import derive
 from repro.checker.report import CheckResult, Violation
 from repro.memory.history import History
 from repro.memory.operations import Operation
 
 
 def _prepare(history: History):
-    """(ops, CO closure, index map, reads-from) or raises CheckerError."""
+    """(ops, CO closure, index map, reads-from) or raises CheckerError.
+
+    All four structures come from the shared per-history derivation
+    cache (:mod:`repro.checker.cache`): running the four guarantees
+    back-to-back derives the history once, not four times. The returned
+    relation is the shared CO closure — read-only by contract.
+    """
     history.validate()
-    reads_from = history.reads_from()
-    operations, order = causal_order(history)
-    index = {op.op_id: position for position, op in enumerate(operations)}
-    return operations, order, index, reads_from
+    derivations = derive(history)
+    return (
+        derivations.operations,
+        derivations.order,
+        derivations.index,
+        derivations.reads_from,
+    )
 
 
 def _source_misses(
@@ -216,16 +225,20 @@ def check_writes_follow_reads(history: History) -> CheckResult:
         )
         return result
     # Pairs (w1, w2) with w1 ->CO w2 on the same variable: any observer
-    # reading w2 then w1 violates WFR.
-    writes = history.writes()
-    ordered_pairs = [
-        (first, second)
-        for first in writes
-        for second in writes
-        if first.var == second.var
-        and first.op_id != second.op_id
-        and order.has(index[first.op_id], index[second.op_id])
-    ]
+    # reading w2 then w1 violates WFR. Pairs are grouped per variable and
+    # indexed by w1's op_id, so the per-read work is a dict lookup over
+    # that write's successors instead of a linear scan of all W×W pairs.
+    writes_by_var: dict[str, list[Operation]] = {}
+    for write in history.writes():
+        writes_by_var.setdefault(write.var, []).append(write)
+    ordered_after: dict[int, list[Operation]] = {}
+    for var_writes in writes_by_var.values():
+        for first in var_writes:
+            for second in var_writes:
+                if first.op_id != second.op_id and order.has(
+                    index[first.op_id], index[second.op_id]
+                ):
+                    ordered_after.setdefault(first.op_id, []).append(second)
     for proc in history.processes():
         seen_after: set[int] = set()
         for op in history.of_process(proc):
@@ -234,17 +247,17 @@ def check_writes_follow_reads(history: History) -> CheckResult:
             source = reads_from.get(op)
             if source is None:
                 continue
-            for first, second in ordered_pairs:
-                if source.op_id == first.op_id and second.op_id in seen_after:
+            for second in ordered_after.get(source.op_id, ()):
+                if second.op_id in seen_after:
                     result.ok = False
                     result.violations.append(
                         Violation(
                             pattern="WritesFollowReads",
                             process=proc,
-                            operations=(first, second, op),
+                            operations=(source, second, op),
                             detail=(
-                                f"{op} observes {first} after {second}, although "
-                                f"{first} causally precedes {second}"
+                                f"{op} observes {source} after {second}, although "
+                                f"{source} causally precedes {second}"
                             ),
                         )
                     )

@@ -1,0 +1,365 @@
+"""Checker / explorer throughput suite with a regression gate.
+
+Unlike the pytest-benchmark modules under ``benchmarks/`` (which print
+rich comparison tables for humans), this suite times the repo's two hot
+paths — causality checking and interleaving exploration — directly, and
+writes a machine-readable ``BENCH_perf.json`` at the repo root. It is
+what CI's perf-smoke job runs: fast enough for every push, deterministic
+enough to gate on.
+
+Portability of the gate: raw seconds are meaningless across machines, so
+every report carries a *calibration score* — the wall time of a fixed
+pure-Python workload — and the gate compares calibration-normalized
+times against the committed ``benchmarks/perf_baseline.json``. A checker
+case whose normalized time exceeds the baseline by more than
+:data:`GATE_TOLERANCE` fails the suite.
+
+The baseline file also records the pre-optimization timings measured on
+the machine that produced it, which is how the report's
+``speedup_vs_pre_optimization`` section turns "the checker got faster"
+into a number that survives hardware changes.
+
+The suite additionally *certifies* the parallel explorer: the ``--jobs
+2`` run must reach the same explored/pruned totals, the same exhaustion
+flag and the same verdicts as the sequential engine on the catalogued
+scenario, or the suite fails — determinism is part of the performance
+contract, not a separate test.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from pathlib import Path
+from typing import Callable, Optional
+
+PERF_REPORT = "BENCH_perf.json"
+BASELINE_NAME = "perf_baseline.json"
+
+#: Allowed slowdown of a gated case vs the committed baseline (1.30 =
+#: fail beyond +30%), after calibration normalization.
+GATE_TOLERANCE = 1.30
+
+
+def _best_of(fn: Callable[[], object], rounds: int) -> tuple[float, object]:
+    """Minimum wall time of *rounds* runs of *fn*, plus the last result."""
+    best = float("inf")
+    value: object = None
+    for _ in range(max(1, rounds)):
+        started = time.perf_counter()
+        value = fn()
+        best = min(best, time.perf_counter() - started)
+    return best, value
+
+
+def calibrate(rounds: int = 3) -> float:
+    """Seconds for a fixed pure-Python workload (machine-speed proxy).
+
+    A deterministic 192-node layered relation is transitively closed and
+    restricted — the same kind of work the checker cases do, so the
+    normalization tracks the operations that actually matter.
+    """
+    from repro.checker.graph import Relation
+
+    def workload() -> int:
+        relation = Relation(192)
+        for node in range(191):
+            relation.add(node, node + 1)
+            if node + 7 < 192:
+                relation.add(node, (node * 5 + 7) % 192 if (node * 5 + 7) % 192 > node else node + 7)
+        closure = relation.transitive_closure()
+        sub = closure.restrict(range(0, 192, 2))
+        return closure.edge_count() + sub.edge_count()
+
+    seconds, _ = _best_of(workload, rounds)
+    return seconds
+
+
+def _make_history(processes: int, ops_per_process: int, seed: int = 0):
+    """The synthetic single-system workload of ``bench_checker_scaling``."""
+    from repro.memory.recorder import HistoryRecorder
+    from repro.memory.system import DSMSystem
+    from repro.protocols import get
+    from repro.sim.core import Simulator
+    from repro.workloads import WorkloadSpec, populate_system
+    from repro.workloads.scenarios import run_until_quiescent
+
+    sim = Simulator()
+    recorder = HistoryRecorder()
+    system = DSMSystem(sim, "S", get("vector-causal"), recorder=recorder, seed=seed)
+    populate_system(
+        system,
+        WorkloadSpec(
+            processes=processes, ops_per_process=ops_per_process, write_ratio=0.4
+        ),
+        seed=seed,
+    )
+    run_until_quiescent(sim, [system])
+    return recorder.history()
+
+
+def _case_checker_causal(rounds: int) -> dict:
+    from repro.checker import check_causal
+    from repro.checker.cache import invalidate
+
+    history = _make_history(8, 40)
+
+    def once():
+        invalidate()  # time the cold path: derivation + saturation
+        return check_causal(history)
+
+    seconds, verdict = _best_of(once, rounds)
+    return {
+        "name": "checker_causal_320",
+        "seconds": seconds,
+        "ops": len(history),
+        "ok": bool(verdict.ok),
+        "gate": True,
+    }
+
+
+def _case_checker_sessions(rounds: int) -> dict:
+    from repro.checker import check_all_session_guarantees
+    from repro.checker.cache import invalidate
+
+    history = _make_history(8, 40)
+
+    def once():
+        invalidate()
+        return check_all_session_guarantees(history)
+
+    seconds, results = _best_of(once, rounds)
+    return {
+        "name": "checker_sessions_320",
+        "seconds": seconds,
+        "ops": len(history),
+        "ok": all(result.ok for result in results.values()),
+        "gate": True,
+    }
+
+
+def _case_causality_chain5(rounds: int) -> dict:
+    """Cold-cache causality check of the chain-of-five global history —
+    the checking portion of ``bench_causality_check``'s largest (E7)
+    configuration. Simulation stays outside the timed region: it is
+    unchanged by the checker work and would only dilute the signal."""
+    from repro.checker import check_causal
+    from repro.checker.cache import invalidate
+    from repro.workloads import WorkloadSpec, build_interconnected
+    from repro.workloads.scenarios import run_until_quiescent
+
+    spec = WorkloadSpec(processes=6, ops_per_process=24, write_ratio=0.5)
+    result = build_interconnected(
+        ["vector-causal"] * 5, spec, topology="chain", shared=False, seed=0
+    )
+    run_until_quiescent(result.sim, result.systems)
+    history = result.global_history
+
+    def once():
+        invalidate()
+        return check_causal(history)
+
+    seconds, verdict = _best_of(once, rounds)
+    return {
+        "name": "causality_chain5_large",
+        "seconds": seconds,
+        "ops": len(history),
+        "ok": bool(verdict.ok),
+        "gate": True,
+    }
+
+
+def _explore_summary(outcome) -> dict:
+    return {
+        "explored": outcome.explored,
+        "pruned_fingerprint": outcome.pruned_fingerprint,
+        "pruned_sleep": outcome.pruned_sleep,
+        "truncated": outcome.truncated,
+        "runs": outcome.runs,
+        "exhausted": outcome.exhausted,
+        "violations": [sorted(set(c.patterns)) for c in outcome.violations],
+    }
+
+
+def _case_explorer(scenario: str, jobs_list: tuple[int, ...]) -> tuple[list[dict], list[str]]:
+    """Sequential + parallel exhaustion of *scenario*; certifies parity."""
+    from repro.explore import explore_parallel
+
+    cases: list[dict] = []
+    failures: list[str] = []
+    outcomes: dict[int, object] = {}
+    for jobs in jobs_list:
+        started = time.perf_counter()
+        outcome = explore_parallel(
+            scenario, jobs=jobs, max_interleavings=400_000, stop_after=None
+        )
+        seconds = time.perf_counter() - started
+        outcomes[jobs] = outcome
+        cases.append(
+            {
+                "name": f"explore_{scenario}_jobs{jobs}",
+                "seconds": seconds,
+                "runs_per_second": outcome.runs / seconds if seconds > 0 else 0.0,
+                "jobs": jobs,
+                "ok": outcome.exhausted,
+                "gate": False,
+                **_explore_summary(outcome),
+            }
+        )
+    sequential = outcomes.get(1)
+    for jobs, outcome in outcomes.items():
+        if jobs == 1 or sequential is None:
+            continue
+        if outcome.exhausted != sequential.exhausted or [
+            sorted(set(c.patterns)) for c in outcome.violations
+        ] != [sorted(set(c.patterns)) for c in sequential.violations]:
+            failures.append(
+                f"parallel explorer (jobs={jobs}) disagrees with sequential "
+                f"on {scenario!r}: "
+                f"{_explore_summary(outcome)} vs {_explore_summary(sequential)}"
+            )
+    return cases, failures
+
+
+def default_baseline_path() -> Path:
+    from repro.obs.bench import default_bench_dir
+
+    return default_bench_dir() / BASELINE_NAME
+
+
+def default_report_path() -> Path:
+    from repro.obs.bench import default_bench_dir
+
+    return default_bench_dir().parent / PERF_REPORT
+
+
+def run_perf_suite(
+    quick: bool = False,
+    report_path: Optional[Path] = None,
+    baseline_path: Optional[Path] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> tuple[dict, list[str], Path]:
+    """Run the suite; returns (report, failures, report path).
+
+    *quick* uses one timing round per case and the small explorer
+    scenario only — the shape CI runs on every push. Full mode adds
+    best-of-3 timing and the bridge-p1 sequential-vs-parallel wall-clock
+    comparison (several minutes).
+
+    Failures (a non-empty second element) are gate violations or
+    parallel-parity breaks; the report is written either way.
+    """
+    rounds = 1 if quick else 3
+
+    def note(label: str) -> None:
+        if progress is not None:
+            progress(label)
+
+    note("calibrate")
+    calibration = calibrate(rounds)
+    cases: list[dict] = []
+    failures: list[str] = []
+    for runner, label in (
+        (_case_checker_causal, "checker_causal_320"),
+        (_case_checker_sessions, "checker_sessions_320"),
+        (_case_causality_chain5, "causality_chain5_large"),
+    ):
+        note(label)
+        case = runner(rounds)
+        cases.append(case)
+        if not case["ok"]:
+            failures.append(f"perf case {case['name']} returned a failing verdict")
+    note("explore_bridge-noread-control")
+    explorer_cases, explorer_failures = _case_explorer(
+        "bridge-noread-control", (1, 2)
+    )
+    cases.extend(explorer_cases)
+    failures.extend(explorer_failures)
+    if not quick:
+        note("explore_bridge-p1 (sequential vs --jobs 4; this takes minutes)")
+        p1_cases, p1_failures = _case_explorer("bridge-p1", (1, 4))
+        cases.extend(p1_cases)
+        failures.extend(p1_failures)
+
+    baseline_path = baseline_path or default_baseline_path()
+    baseline: Optional[dict] = None
+    if baseline_path.exists():
+        baseline = json.loads(baseline_path.read_text(encoding="utf-8"))
+
+    speedups: dict[str, float] = {}
+    if baseline is not None:
+        base_calibration = baseline.get("calibration") or calibration
+        scale = base_calibration / calibration if calibration > 0 else 1.0
+        for case in cases:
+            name = case["name"]
+            normalized = case["seconds"] * scale
+            case["normalized_seconds"] = normalized
+            base_case = baseline.get("cases", {}).get(name)
+            if case.get("gate") and base_case is not None:
+                budget = base_case["seconds"] * GATE_TOLERANCE
+                case["baseline_seconds"] = base_case["seconds"]
+                case["gate_budget_seconds"] = budget
+                if normalized > budget:
+                    failures.append(
+                        f"perf regression: {name} took {normalized:.4f}s "
+                        f"(calibration-normalized) vs baseline "
+                        f"{base_case['seconds']:.4f}s "
+                        f"(+{GATE_TOLERANCE - 1:.0%} budget {budget:.4f}s)"
+                    )
+            pre = baseline.get("pre_optimization", {}).get(name)
+            if pre is not None and normalized > 0:
+                speedups[name] = round(pre / normalized, 2)
+
+    report = {
+        "suite": "repro-perf",
+        "mode": "quick" if quick else "full",
+        "python": platform.python_version(),
+        "calibration_seconds": calibration,
+        "gate_tolerance": GATE_TOLERANCE,
+        "baseline": str(baseline_path) if baseline is not None else None,
+        "cases": cases,
+        "speedup_vs_pre_optimization": speedups,
+        "failures": failures,
+        "ok": not failures,
+    }
+    report_path = report_path or default_report_path()
+    report_path.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    return report, failures, report_path
+
+
+def render_perf(report: dict) -> str:
+    """A terminal table of the perf-suite outcome."""
+    lines = [
+        f"perf suite ({report['mode']}, calibration "
+        f"{report['calibration_seconds']:.4f}s)"
+    ]
+    width = max(len(case["name"]) for case in report["cases"])
+    for case in report["cases"]:
+        extras = []
+        if "runs_per_second" in case:
+            extras.append(f"{case['runs_per_second']:.0f} runs/s")
+        if case["name"] in report["speedup_vs_pre_optimization"]:
+            extras.append(
+                f"{report['speedup_vs_pre_optimization'][case['name']]}x "
+                "vs pre-optimization"
+            )
+        status = "ok" if case.get("ok") else "FAIL"
+        lines.append(
+            f"  {case['name']:<{width}}  {status:<4} {case['seconds']:>9.4f}s"
+            + ("  " + ", ".join(extras) if extras else "")
+        )
+    for failure in report["failures"]:
+        lines.append(f"  GATE: {failure}")
+    return "\n".join(lines)
+
+
+__all__ = [
+    "GATE_TOLERANCE",
+    "PERF_REPORT",
+    "calibrate",
+    "default_baseline_path",
+    "default_report_path",
+    "render_perf",
+    "run_perf_suite",
+]

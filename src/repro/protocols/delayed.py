@@ -59,14 +59,17 @@ class DelayedApplyMCS(MCSProcess):
         self._seen = VectorClock()  # gates causal readiness
         self._store: dict[str, tuple[Any, VectorClock]] = {}
         self._ready_buffer: list[CausalUpdate] = []
-        self._lag_queues: dict[str, deque[CausalUpdate]] = {}
+        # Per-variable lag queues of (readiness rank, update). The rank
+        # rides along with the update (instead of an id()-keyed side
+        # table) so the queues are plain value state — object identities
+        # must never leak into explorer state fingerprints.
+        self._lag_queues: dict[str, deque[tuple[int, CausalUpdate]]] = {}
         self._max_lag = max_lag
         self._rng = rng_mod.derive(lag_seed, "delayed", kwargs.get("name", ""))
         self._in_upcall = False
         self.updates_applied = 0
         self.lag_inversions = 0  # applies that overtook an older ready update
         self._ready_counter = 0
-        self._ready_rank: dict[int, int] = {}
         self._last_applied_rank = -1
 
     # -- lag policy ---------------------------------------------------------
@@ -134,13 +137,13 @@ class DelayedApplyMCS(MCSProcess):
     # -- lag stage ----------------------------------------------------------------
 
     def _stage(self, update: CausalUpdate) -> None:
-        self._ready_rank[id(update)] = self._ready_counter
+        rank = self._ready_counter
         self._ready_counter += 1
         if self._lag_disabled:
-            self._apply(update)
+            self._apply(rank, update)
             return
         queue = self._lag_queues.setdefault(update.var, deque())
-        queue.append(update)
+        queue.append((rank, update))
         lag = self._rng.uniform(0.0, self._max_lag)
         self.after(lag, lambda: self._apply_through(update))
 
@@ -152,21 +155,21 @@ class DelayedApplyMCS(MCSProcess):
         reordering this protocol exhibits is purely *across* variables.
         """
         queue = self._lag_queues.get(update.var)
-        if queue is None or update not in queue:
+        if queue is None or not any(queued is update for _, queued in queue):
             return  # already applied by a flush or an earlier timer
         while queue:
-            head = queue.popleft()
-            self._apply(head)
+            rank, head = queue.popleft()
+            self._apply(rank, head)
             if head is update:
                 break
 
     def _flush_var(self, var: str) -> None:
         queue = self._lag_queues.get(var)
         while queue:
-            self._apply(queue.popleft())
+            rank, head = queue.popleft()
+            self._apply(rank, head)
 
-    def _apply(self, update: CausalUpdate) -> None:
-        rank = self._ready_rank.pop(id(update))
+    def _apply(self, rank: int, update: CausalUpdate) -> None:
         if rank < self._last_applied_rank:
             self.lag_inversions += 1
         self._last_applied_rank = max(self._last_applied_rank, rank)

@@ -94,3 +94,188 @@ def test_causal_verdict_stable_under_op_relabelling(history):
     # systems must not change the verdict.
     relabelled = history.filter(lambda op: True)
     assert check_causal(relabelled).ok == check_causal(history).ok
+
+
+# --- closure-kernel equivalence -------------------------------------------
+#
+# The Relation kernel grew three fast paths (single-pass topological
+# closure, incremental add_closed maintenance, run-decomposed restrict).
+# Each must be *result-identical* to the naive formulation on arbitrary
+# relations — cyclic ones included.
+
+from repro.checker.graph import Relation  # noqa: E402
+
+
+def _naive_closure(relation: Relation) -> list[list[bool]]:
+    size = relation.size
+    reach = [
+        [relation.has(a, b) for b in range(size)] for a in range(size)
+    ]
+    for via in range(size):
+        for a in range(size):
+            if reach[a][via]:
+                row = reach[a]
+                for b in range(size):
+                    if reach[via][b]:
+                        row[b] = True
+    return reach
+
+
+@st.composite
+def relations(draw, max_size=12, max_edges=30):
+    size = draw(st.integers(1, max_size))
+    relation = Relation(size)
+    edges = draw(
+        st.lists(
+            st.tuples(st.integers(0, size - 1), st.integers(0, size - 1)),
+            max_size=max_edges,
+        )
+    )
+    for a, b in edges:
+        relation.add(a, b)
+    return relation
+
+
+@given(relations())
+@settings(max_examples=300, deadline=None)
+def test_transitive_closure_matches_naive_floyd_warshall(relation):
+    closure = relation.transitive_closure()
+    reach = _naive_closure(relation)
+    for a in range(relation.size):
+        for b in range(relation.size):
+            assert closure.has(a, b) == reach[a][b]
+
+
+@given(relations(), st.data())
+@settings(max_examples=300, deadline=None)
+def test_add_closed_equals_recomputing_the_closure(relation, data):
+    closed = relation.transitive_closure()
+    for _ in range(data.draw(st.integers(1, 4))):
+        a = data.draw(st.integers(0, relation.size - 1))
+        b = data.draw(st.integers(0, relation.size - 1))
+        closed.add_closed(a, b)
+        relation.add(a, b)
+    recomputed = relation.transitive_closure()
+    assert closed.equal_edges(recomputed)
+
+
+@given(relations())
+@settings(max_examples=200, deadline=None)
+def test_predecessor_masks_are_the_transpose(relation):
+    closed = relation.transitive_closure()
+    closed.add_closed(0, relation.size - 1)  # force the incremental path
+    for a in range(closed.size):
+        for b in range(closed.size):
+            assert closed.has(a, b) == bool(
+                closed.predecessors_mask(b) & (1 << a)
+            )
+
+
+@given(relations(), st.data())
+@settings(max_examples=300, deadline=None)
+def test_restrict_matches_per_pair_probing(relation, data):
+    keep = data.draw(
+        st.lists(
+            st.integers(0, relation.size - 1),
+            unique=True,
+            max_size=relation.size,
+        )
+    )
+    sub = relation.restrict(keep)
+    assert sub.size == len(keep)
+    for new_a, old_a in enumerate(keep):
+        for new_b, old_b in enumerate(keep):
+            assert sub.has(new_a, new_b) == relation.has(old_a, old_b)
+
+
+# --- shared-derivation equivalence ----------------------------------------
+#
+# The session checkers share one derivation per history through
+# repro.checker.cache. Sharing must be invisible: results are identical
+# whether the four guarantees reuse one cache entry or each recomputes
+# from scratch, and the indexed writes-follow-reads scan must flag the
+# same pairs as the naive quadratic one.
+
+from repro.checker import check_all_session_guarantees  # noqa: E402
+from repro.checker.cache import derive, invalidate  # noqa: E402
+from repro.checker.sessions import (  # noqa: E402
+    check_monotonic_reads,
+    check_monotonic_writes,
+    check_read_your_writes,
+    check_writes_follow_reads,
+)
+
+
+def _violation_keys(result):
+    return [
+        (
+            violation.pattern,
+            violation.process,
+            tuple(op.op_id for op in violation.operations),
+        )
+        for violation in result.violations
+    ]
+
+
+@given(histories())
+@settings(max_examples=200, deadline=None)
+def test_session_checkers_identical_with_cold_and_warm_cache(history):
+    checkers = {
+        "read-your-writes": check_read_your_writes,
+        "monotonic-reads": check_monotonic_reads,
+        "monotonic-writes": check_monotonic_writes,
+        "writes-follow-reads": check_writes_follow_reads,
+    }
+    cold = {}
+    for name, checker in checkers.items():
+        invalidate()  # every checker re-derives from scratch
+        cold[name] = checker(history)
+    invalidate()
+    warm = check_all_session_guarantees(history)  # one shared derivation
+    for name in checkers:
+        assert warm[name].ok == cold[name].ok
+        assert _violation_keys(warm[name]) == _violation_keys(cold[name])
+
+
+@given(histories())
+@settings(max_examples=200, deadline=None)
+def test_writes_follow_reads_matches_naive_quadratic_scan(history):
+    result = check_writes_follow_reads(history)
+    try:
+        derivations = derive(history)
+    except Exception:
+        return  # thin-air read: the checker reported it, nothing to cross-check
+    order, index = derivations.order, derivations.index
+    reads_from = derivations.reads_from
+    writes = history.writes()
+    naive = []
+    for proc in history.processes():
+        seen_after: set[int] = set()
+        for op in history.of_process(proc):
+            if not op.is_read:
+                continue
+            source = reads_from.get(op)
+            if source is None:
+                continue
+            for first in writes:
+                for second in writes:
+                    if (
+                        first.var == second.var
+                        and first.op_id != second.op_id
+                        and first.op_id == source.op_id
+                        and second.op_id in seen_after
+                        and order.has(
+                            index[first.op_id], index[second.op_id]
+                        )
+                    ):
+                        naive.append(
+                            (proc, first.op_id, second.op_id, op.op_id)
+                        )
+            seen_after.add(source.op_id)
+    reported = [
+        (v.process, v.operations[0].op_id, v.operations[1].op_id, v.operations[2].op_id)
+        for v in result.violations
+        if v.pattern == "WritesFollowReads"
+    ]
+    assert sorted(reported) == sorted(naive)
+    assert result.ok == (not naive)

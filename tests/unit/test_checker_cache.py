@@ -1,0 +1,122 @@
+"""Unit tests for the shared per-history derivation cache."""
+
+import pytest
+
+from repro.checker import (
+    check_all_session_guarantees,
+    check_causal,
+    check_causal_convergence,
+    check_pram,
+)
+from repro.checker.cache import Derivations, cache_len, derive, invalidate
+from repro.errors import CheckerError
+from tests.helpers import ops
+
+
+@pytest.fixture(autouse=True)
+def clean_cache():
+    invalidate()
+    yield
+    invalidate()
+
+
+def small_history():
+    return ops(
+        ("A", "w", "x", 1),
+        ("B", "r", "x", 1),
+        ("B", "w", "y", 2),
+        ("A", "r", "y", 2),
+    )
+
+
+class TestDerive:
+    def test_same_object_returned_for_same_history(self):
+        history = small_history()
+        assert derive(history) is derive(history)
+        assert cache_len() == 1
+
+    def test_distinct_histories_get_distinct_entries(self):
+        first, second = small_history(), small_history()
+        assert derive(first) is not derive(second)
+        assert cache_len() == 2
+
+    def test_derivations_content(self):
+        history = small_history()
+        derivations = derive(history)
+        assert len(derivations.operations) == len(history)
+        assert set(derivations.index) == {op.op_id for op in history}
+        # B's read of x observes A's write: the closure must order them.
+        write = next(op for op in history if op.is_write and op.var == "x")
+        read = next(op for op in history if op.is_read and op.var == "x")
+        assert derivations.reads_from[read] is write
+        assert derivations.order.has(
+            derivations.index[write.op_id], derivations.index[read.op_id]
+        )
+
+    def test_order_is_lazy(self):
+        derivations = derive(small_history())
+        assert derivations._order is None
+        derivations.order
+        assert derivations._order is not None
+
+    def test_thin_air_read_raises_and_is_cached(self):
+        history = ops(("A", "r", "x", 99))
+        with pytest.raises(CheckerError):
+            derive(history)
+        assert cache_len() == 1  # the failure itself is the entry
+        with pytest.raises(CheckerError):
+            derive(history)
+
+    def test_invalidate_single_and_all(self):
+        first, second = small_history(), small_history()
+        derive(first)
+        derive(second)
+        invalidate(first)
+        assert cache_len() == 1
+        invalidate()
+        assert cache_len() == 0
+
+    def test_entries_die_with_their_history(self):
+        derive(small_history())  # history unreferenced after this line
+        import gc
+
+        gc.collect()
+        assert cache_len() == 0
+
+    def test_derivations_do_not_retain_the_history(self):
+        # A strong history reference inside the value would keep the
+        # weak-keyed entry alive forever.
+        history = small_history()
+        derivations = Derivations(history)
+        assert all(
+            getattr(derivations, slot, None) is not history
+            for slot in Derivations.__slots__
+        )
+
+
+class TestSharedAcrossCheckers:
+    def test_one_derivation_serves_every_checker(self):
+        history = small_history()
+        check_causal(history)
+        entry = derive(history)
+        check_all_session_guarantees(history)
+        check_pram(history)
+        check_causal_convergence(history)
+        assert derive(history) is entry
+        assert cache_len() == 1
+
+    def test_checkers_do_not_corrupt_the_shared_order(self):
+        # check_causal saturates a copy; the cached closure must stay
+        # untouched so later checkers see the pure CO.
+        history = small_history()
+        before = derive(history).order.copy()
+        check_causal(history)
+        check_causal_convergence(history)
+        assert derive(history).order.equal_edges(before)
+
+    def test_verdicts_survive_invalidation(self):
+        history = small_history()
+        warm = check_causal(history)
+        invalidate()
+        cold = check_causal(history)
+        assert warm.ok == cold.ok

@@ -88,3 +88,97 @@ class TestRestrict:
         relation.add(0, 1)
         sub = relation.restrict([0, 2])
         assert sub.edge_count() == 0
+
+    def test_restrict_empty_keep(self):
+        relation = Relation(3)
+        relation.add(0, 1)
+        assert relation.restrict([]).size == 0
+
+    def test_restrict_non_consecutive_runs(self):
+        # Mixed runs: [0,1] is one chunk, [3] and [5] are singletons.
+        relation = Relation(6)
+        relation.add(0, 1)
+        relation.add(1, 3)
+        relation.add(3, 5)
+        relation.add(0, 4)  # dropped: 4 is not kept
+        sub = relation.restrict([0, 1, 3, 5])
+        assert sub.has(0, 1)
+        assert sub.has(1, 2)
+        assert sub.has(2, 3)
+        assert sub.edge_count() == 3
+
+
+class TestPredecessors:
+    def test_predecessors_are_the_transpose(self):
+        relation = Relation(4)
+        relation.add(0, 2)
+        relation.add(1, 2)
+        relation.add(2, 3)
+        assert sorted(relation.predecessors(2)) == [0, 1]
+        assert sorted(relation.predecessors(0)) == []
+        assert relation.predecessors_mask(3) == 1 << 2
+
+    def test_add_keeps_built_predecessors_in_sync(self):
+        relation = Relation(3)
+        relation.add(0, 1)
+        assert list(relation.predecessors(1)) == [0]  # builds the transpose
+        relation.add(2, 1)
+        assert sorted(relation.predecessors(1)) == [0, 2]
+
+    def test_copy_carries_predecessors(self):
+        relation = Relation(3)
+        relation.add(0, 1)
+        relation.predecessors_mask(1)
+        dup = relation.copy()
+        dup.add(2, 1)
+        assert sorted(dup.predecessors(1)) == [0, 2]
+        assert sorted(relation.predecessors(1)) == [0]
+
+
+class TestAddClosed:
+    def test_add_closed_bridges_reachability(self):
+        relation = Relation(5)
+        relation.add(0, 1)
+        relation.add(3, 4)
+        closed = relation.transitive_closure()
+        assert closed.add_closed(1, 3)
+        # Everything reaching 1 now reaches everything 3 reaches.
+        assert closed.has(0, 3)
+        assert closed.has(0, 4)
+        assert closed.has(1, 4)
+        assert not closed.has(4, 0)
+
+    def test_add_closed_existing_edge_is_noop(self):
+        relation = Relation(3)
+        relation.add(0, 1)
+        closed = relation.transitive_closure()
+        assert not closed.add_closed(0, 1)
+
+    def test_add_closed_matches_full_reclosure(self):
+        relation = Relation(6)
+        for a, b in [(0, 1), (1, 2), (3, 4), (4, 5)]:
+            relation.add(a, b)
+        closed = relation.transitive_closure()
+        closed.add_closed(2, 3)
+        relation.add(2, 3)
+        assert closed.equal_edges(relation.transitive_closure())
+
+    def test_add_closed_can_create_cycle(self):
+        relation = Relation(3)
+        relation.add(0, 1)
+        relation.add(1, 2)
+        closed = relation.transitive_closure()
+        closed.add_closed(2, 0)
+        assert closed.cycle_node() is not None
+        assert closed.has(1, 1)
+
+
+class TestEqualEdges:
+    def test_equal_edges(self):
+        left, right = Relation(3), Relation(3)
+        left.add(0, 1)
+        right.add(0, 1)
+        assert left.equal_edges(right)
+        right.add(1, 2)
+        assert not left.equal_edges(right)
+        assert not left.equal_edges(Relation(2))
